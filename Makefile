@@ -1,0 +1,41 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short cover bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per paper figure/table plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation figure and ablation at full scale.
+figures:
+	$(GO) run ./cmd/m2mbench -experiment all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sapflux
+	$(GO) run ./examples/wildlife
+	$(GO) run ./examples/dynamic
+	$(GO) run ./examples/failover
+	$(GO) run ./examples/motes
+
+clean:
+	$(GO) clean ./...

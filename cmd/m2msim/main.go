@@ -1,0 +1,169 @@
+// Command m2msim runs one many-to-many aggregation scenario end to end
+// and reports per-algorithm round energy, message counts, and (optionally)
+// the computed destination values.
+//
+// Usage:
+//
+//	m2msim                                  # paper defaults on the GDI network
+//	m2msim -nodes 150 -dests 0.25 -sources 20 -dispersion 0.5
+//	m2msim -router shared -values
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"m2m"
+	"m2m/internal/agg"
+	"m2m/internal/plan"
+	"m2m/internal/sim"
+)
+
+func main() {
+	var (
+		nodes      = flag.Int("nodes", 0, "random network size (0 = the 68-node Great Duck Island layout)")
+		dests      = flag.Float64("dests", 0.2, "fraction of nodes acting as destinations")
+		sources    = flag.Int("sources", 20, "sources per destination")
+		dispersion = flag.Float64("dispersion", 0.9, "dispersion factor d in [0,1]")
+		maxHops    = flag.Int("maxhops", 4, "source hop limit H (0 = uniform network-wide)")
+		router     = flag.String("router", "reverse", "router: reverse | shared")
+		seed       = flag.Int64("seed", 1, "workload/network seed")
+		values     = flag.Bool("values", false, "print computed destination values")
+		trace      = flag.Bool("trace", false, "print every message unit of the optimal plan's round")
+		wlFile     = flag.String("workload", "", "load the workload from a spec file instead of generating it")
+	)
+	flag.Parse()
+
+	var net *m2m.Network
+	if *nodes > 0 {
+		net = m2m.RandomNetwork(*nodes, *seed)
+	} else {
+		net = m2m.GreatDuckIsland()
+	}
+	var kind m2m.RouterKind
+	switch *router {
+	case "reverse":
+		kind = m2m.RouterReversePath
+	case "shared":
+		kind = m2m.RouterSharedTree
+	default:
+		fmt.Fprintf(os.Stderr, "m2msim: unknown router %q\n", *router)
+		os.Exit(2)
+	}
+
+	var specs []m2m.Spec
+	if *wlFile != "" {
+		f, err := os.Open(*wlFile)
+		check(err)
+		specs, err = m2m.ParseWorkload(f)
+		f.Close()
+		check(err)
+	} else {
+		var err error
+		specs, err = net.GenerateWorkload(m2m.WorkloadConfig{
+			DestFraction:   *dests,
+			SourcesPerDest: *sources,
+			Dispersion:     *dispersion,
+			MaxHops:        *maxHops,
+			Seed:           *seed,
+		})
+		check(err)
+	}
+	inst, err := net.NewInstance(specs, kind)
+	check(err)
+
+	rng := rand.New(rand.NewSource(*seed))
+	readings := make(map[m2m.NodeID]float64, net.Len())
+	for i := 0; i < net.Len(); i++ {
+		readings[m2m.NodeID(i)] = 20 + rng.NormFloat64()*5 // temperature-ish
+	}
+
+	fmt.Printf("network: %d nodes, %d edges; workload: %d destinations × %d sources (d=%.2f)\n",
+		net.Len(), net.Graph.NumEdges(), len(specs), *sources, *dispersion)
+
+	opt, err := m2m.Optimize(inst)
+	check(err)
+	fmt.Printf("optimal plan: %d units over %d edges, %d consistency repairs\n",
+		len(opt.Units()), len(inst.EdgeList), opt.Repairs)
+
+	if *trace {
+		eng, err := sim.NewEngine(opt, net.Radio, sim.Options{MergeMessages: true})
+		check(err)
+		fmt.Println("\nexecution trace (topological unit order):")
+		_, err = eng.RunObserved(readings, func(u plan.Unit, raw float64, rec agg.Record) {
+			if u.Kind == plan.UnitRaw {
+				fmt.Printf("  %3d→%-3d raw    src=%-3d value=%.4f\n", u.Edge.From, u.Edge.To, u.Node, raw)
+			} else {
+				fmt.Printf("  %3d→%-3d record dst=%-3d partial=%v\n", u.Edge.From, u.Edge.To, u.Node, rec)
+			}
+		})
+		check(err)
+		fmt.Println()
+	}
+
+	type algo struct {
+		name string
+		run  func() (energyJ float64, messages int, err error)
+	}
+	algos := []algo{
+		{"optimal", func() (float64, int, error) {
+			r, err := m2m.Execute(opt, net, readings)
+			if err != nil {
+				return 0, 0, err
+			}
+			if *values {
+				printValues(r.Values)
+			}
+			return r.EnergyJ, r.Messages, nil
+		}},
+		{"multicast", func() (float64, int, error) {
+			r, err := m2m.Execute(m2m.Multicast(inst), net, readings)
+			if err != nil {
+				return 0, 0, err
+			}
+			return r.EnergyJ, r.Messages, nil
+		}},
+		{"aggregation", func() (float64, int, error) {
+			r, err := m2m.Execute(m2m.AggregateASAP(inst), net, readings)
+			if err != nil {
+				return 0, 0, err
+			}
+			return r.EnergyJ, r.Messages, nil
+		}},
+		{"flood", func() (float64, int, error) {
+			r, err := m2m.Flood(net, specs, readings)
+			if err != nil {
+				return 0, 0, err
+			}
+			return r.EnergyJ, r.Broadcasts, nil
+		}},
+	}
+	fmt.Printf("\n%-12s %14s %10s\n", "algorithm", "round energy", "messages")
+	for _, a := range algos {
+		e, m, err := a.run()
+		check(err)
+		fmt.Printf("%-12s %11.2f mJ %10d\n", a.name, e*1e3, m)
+	}
+}
+
+func printValues(vals map[m2m.NodeID]float64) {
+	ids := make([]m2m.NodeID, 0, len(vals))
+	for d := range vals {
+		ids = append(ids, d)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Println("destination values:")
+	for _, d := range ids {
+		fmt.Printf("  node %3d: %.4f\n", d, vals[d])
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "m2msim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+package m2m_test
+
+import (
+	"fmt"
+	"sort"
+
+	"m2m"
+)
+
+// ExampleOptimize plans and executes the paper's Figure 1(C) scenario:
+// sources a–d feed two relays, and three destinations aggregate
+// overlapping subsets. The optimal plan sends a's value raw across the
+// relay link (three destinations want it) while b, c, d travel inside
+// partial aggregate records.
+func ExampleOptimize() {
+	// A 3×3 grid stands in for the relay chain.
+	net := m2m.GridNetwork(3, 3, 40)
+
+	specs := []m2m.Spec{
+		{Dest: 8, Func: m2m.NewWeightedSum(map[m2m.NodeID]float64{0: 1, 1: 1, 3: 1})},
+		{Dest: 6, Func: m2m.NewWeightedSum(map[m2m.NodeID]float64{0: 2, 1: 2})},
+	}
+	inst, err := net.NewInstance(specs, m2m.RouterReversePath)
+	if err != nil {
+		panic(err)
+	}
+	p, err := m2m.Optimize(inst)
+	if err != nil {
+		panic(err)
+	}
+
+	readings := map[m2m.NodeID]float64{0: 1, 1: 2, 3: 3}
+	res, err := m2m.Execute(p, net, readings)
+	if err != nil {
+		panic(err)
+	}
+	var dests []m2m.NodeID
+	for d := range res.Values {
+		dests = append(dests, d)
+	}
+	sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+	for _, d := range dests {
+		fmt.Printf("destination %d: %.1f\n", d, res.Values[d])
+	}
+	// Output:
+	// destination 6: 6.0
+	// destination 8: 6.0
+}
+
+// ExampleNewSession maintains aggregates continuously with temporal
+// suppression: after the bootstrap round, a quiet network transmits
+// nothing.
+func ExampleNewSession() {
+	net := m2m.GridNetwork(4, 4, 40)
+	specs := []m2m.Spec{
+		{Dest: 15, Func: m2m.NewWeightedSum(map[m2m.NodeID]float64{0: 1, 5: 1})},
+	}
+	inst, err := net.NewInstance(specs, m2m.RouterReversePath)
+	if err != nil {
+		panic(err)
+	}
+	p, err := m2m.Optimize(inst)
+	if err != nil {
+		panic(err)
+	}
+	sess, err := m2m.NewSession(p, net, m2m.PolicyNone,
+		m2m.NewConstantReadings(net.Len(), 7), 0.01)
+	if err != nil {
+		panic(err)
+	}
+	for round := 0; round < 3; round++ {
+		step, err := sess.Step()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("round %d: value=%.0f changed=%d\n",
+			step.Round, step.Values[15], step.Changed)
+	}
+	// Output:
+	// round 0: value=14 changed=16
+	// round 1: value=14 changed=0
+	// round 2: value=14 changed=0
+}
+
+// ExampleController shows the hysteresis control loop that converts an
+// aggregate into a sampling rate.
+func ExampleController() {
+	c := m2m.Controller{OnThreshold: 1.0, OffThreshold: 0.5, HighRate: 12, LowRate: 1}
+	for _, signal := range []float64{0.2, 1.3, 0.8, 0.3} {
+		fmt.Println(c.Update(signal))
+	}
+	// Output:
+	// 1
+	// 12
+	// 12
+	// 1
+}

@@ -1,0 +1,3 @@
+module m2m
+
+go 1.22

@@ -1,0 +1,164 @@
+package m2m
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIntegrationCrossAlgorithmAgreement runs every execution path the
+// library offers — the three plans, flooding, out-of-network control, and
+// a suppressed session — over the same workload and demands they agree on
+// every destination's value, round after round.
+func TestIntegrationCrossAlgorithmAgreement(t *testing.T) {
+	net := GreatDuckIsland()
+	specs, err := net.GenerateWorkload(WorkloadConfig{
+		DestFraction:   0.25,
+		SourcesPerDest: 12,
+		Dispersion:     0.9,
+		MaxHops:        4,
+		Seed:           2024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type planned struct {
+		name string
+		p    *Plan
+	}
+	var plans []planned
+	for _, kind := range []RouterKind{RouterReversePath, RouterSharedTree} {
+		inst, err := net.NewInstance(specs, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Optimize(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans,
+			planned{"optimal", opt},
+			planned{"multicast", Multicast(inst)},
+			planned{"aggregation", AggregateASAP(inst)},
+		)
+	}
+
+	gen := NewRandomWalkReadings(net.Len(), 5, 20, 3)
+	for round := 0; round < 5; round++ {
+		readings := gen.Next()
+
+		// Reference: flood (destinations compute locally from raw values).
+		fl, err := Flood(net, specs, readings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oon, err := OutOfNetwork(net, specs, 0, readings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pl := range plans {
+			res, err := Execute(pl.p, net, readings)
+			if err != nil {
+				t.Fatalf("round %d %s: %v", round, pl.name, err)
+			}
+			for d, v := range fl.Values {
+				if math.Abs(res.Values[d]-v) > 1e-6*(1+math.Abs(v)) {
+					t.Fatalf("round %d: %s disagrees with flood at %d: %v vs %v",
+						round, pl.name, d, res.Values[d], v)
+				}
+				if math.Abs(oon.Values[d]-v) > 1e-6*(1+math.Abs(v)) {
+					t.Fatalf("round %d: out-of-network disagrees with flood at %d", round, d)
+				}
+			}
+		}
+	}
+}
+
+// TestIntegrationSessionLongRun drives a suppressed session for many
+// rounds with drifting readings and verifies the maintained values never
+// deviate from direct evaluation (no error accumulation in the delta
+// pipeline).
+func TestIntegrationSessionLongRun(t *testing.T) {
+	net := RandomNetwork(60, 31)
+	specs, err := net.GenerateWorkload(WorkloadConfig{
+		NumDests: 10, SourcesPerDest: 8, Dispersion: 0.8, MaxHops: 4, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := net.NewInstance(specs, RouterReversePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(p, net, PolicyAggressive, NewRandomWalkReadings(net.Len(), 31, 0, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewRandomWalkReadings(net.Len(), 31, 0, 1)
+	for round := 0; round < 40; round++ {
+		step, err := sess.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := ref.Next()
+		for _, sp := range specs {
+			want := 0.0
+			wf := sp.Func.(interface{ Weight(NodeID) float64 })
+			for _, s := range sp.Func.Sources() {
+				want += wf.Weight(s) * cur[s]
+			}
+			if got := step.Values[sp.Dest]; math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("round %d: drift at destination %d: %v vs %v", round, sp.Dest, got, want)
+			}
+		}
+	}
+	if sess.TotalEnergyJ() <= 0 {
+		t.Error("session consumed no energy")
+	}
+}
+
+// TestIntegrationLifetimeOrdering checks the headline lifetime result:
+// optimal must outlive both pure strategies on the evaluation workload.
+func TestIntegrationLifetimeOrdering(t *testing.T) {
+	net := GreatDuckIsland()
+	specs, err := net.GenerateWorkload(WorkloadConfig{
+		DestFraction:   0.3,
+		SourcesPerDest: 15,
+		Dispersion:     0.9,
+		MaxHops:        4,
+		Seed:           8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := net.NewInstance(specs, RouterReversePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	life := func(p *Plan) int {
+		sess, err := NewSession(p, net, PolicyNone, NewConstantReadings(net.Len(), 1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds, _, err := sess.LifetimeRounds(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rounds
+	}
+	lOpt := life(opt)
+	if lMc := life(Multicast(inst)); lOpt < lMc {
+		t.Errorf("optimal lifetime %d below multicast %d", lOpt, lMc)
+	}
+	if lAg := life(AggregateASAP(inst)); lOpt < lAg {
+		t.Errorf("optimal lifetime %d below aggregation %d", lOpt, lAg)
+	}
+}

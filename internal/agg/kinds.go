@@ -1,0 +1,191 @@
+package agg
+
+import (
+	"fmt"
+	"math"
+
+	"m2m/internal/graph"
+)
+
+// Kind is the 1-byte wire identifier of an aggregation function family.
+// Intermediate nodes executing from disseminated tables need only the
+// kind: merging and evaluating a record are weight-independent, and
+// pre-aggregation takes the per-source parameter stored in the
+// pre-aggregation table (the weight for the weighted families, the
+// threshold for CountAbove, unused otherwise).
+type Kind byte
+
+// Function family identifiers.
+const (
+	KindWeightedSum Kind = iota + 1
+	KindWeightedAverage
+	KindWeightedStdDev
+	KindMin
+	KindMax
+	KindRange
+	KindCountAbove
+)
+
+// KindOf returns the wire identifier of f's family.
+func KindOf(f Func) (Kind, error) {
+	switch f.(type) {
+	case *WeightedSum:
+		return KindWeightedSum, nil
+	case *WeightedAverage:
+		return KindWeightedAverage, nil
+	case *WeightedStdDev:
+		return KindWeightedStdDev, nil
+	case *Min:
+		return KindMin, nil
+	case *Max:
+		return KindMax, nil
+	case *Range:
+		return KindRange, nil
+	case *CountAbove:
+		return KindCountAbove, nil
+	default:
+		return 0, fmt.Errorf("agg: unknown function type %T", f)
+	}
+}
+
+// ParamOf returns the per-source parameter a node must store to
+// pre-aggregate source s for function f: the weight for the weighted
+// families, the threshold for CountAbove, 1 otherwise.
+func ParamOf(f Func, s graph.NodeID) (float64, error) {
+	if !f.HasSource(s) {
+		return 0, fmt.Errorf("agg: %d is not a source of this %s", s, f.Name())
+	}
+	switch v := f.(type) {
+	case *CountAbove:
+		return v.Threshold, nil
+	default:
+		if wf, ok := f.(interface{ Weight(graph.NodeID) float64 }); ok {
+			return wf.Weight(s), nil
+		}
+	}
+	return 1, nil
+}
+
+// kindOps describes a family's weight-independent record algebra.
+type kindOps struct {
+	slots  int
+	preAgg func(param, v float64) Record
+	merge  func(a, b Record) Record
+	eval   func(r Record) float64
+}
+
+var kindTable = map[Kind]kindOps{
+	KindWeightedSum: {
+		slots:  1,
+		preAgg: func(p, v float64) Record { return Record{p * v} },
+		merge:  func(a, b Record) Record { return Record{a[0] + b[0]} },
+		eval:   func(r Record) float64 { return r[0] },
+	},
+	KindWeightedAverage: {
+		slots:  2,
+		preAgg: func(p, v float64) Record { return Record{p * v, 1} },
+		merge:  func(a, b Record) Record { return Record{a[0] + b[0], a[1] + b[1]} },
+		eval:   func(r Record) float64 { return r[0] / r[1] },
+	},
+	KindWeightedStdDev: {
+		slots:  3,
+		preAgg: func(p, v float64) Record { x := p * v; return Record{x, x * x, 1} },
+		merge:  func(a, b Record) Record { return Record{a[0] + b[0], a[1] + b[1], a[2] + b[2]} },
+		eval: func(r Record) float64 {
+			mean := r[0] / r[2]
+			v := r[1]/r[2] - mean*mean
+			if v < 0 {
+				v = 0
+			}
+			return sqrt(v)
+		},
+	},
+	KindMin: {
+		slots:  1,
+		preAgg: func(_, v float64) Record { return Record{v} },
+		merge:  func(a, b Record) Record { return Record{min2(a[0], b[0])} },
+		eval:   func(r Record) float64 { return r[0] },
+	},
+	KindMax: {
+		slots:  1,
+		preAgg: func(_, v float64) Record { return Record{v} },
+		merge:  func(a, b Record) Record { return Record{max2(a[0], b[0])} },
+		eval:   func(r Record) float64 { return r[0] },
+	},
+	KindRange: {
+		slots:  2,
+		preAgg: func(_, v float64) Record { return Record{v, v} },
+		merge:  func(a, b Record) Record { return Record{min2(a[0], b[0]), max2(a[1], b[1])} },
+		eval:   func(r Record) float64 { return r[1] - r[0] },
+	},
+	KindCountAbove: {
+		slots: 1,
+		preAgg: func(p, v float64) Record {
+			if v > p {
+				return Record{1}
+			}
+			return Record{0}
+		},
+		merge: func(a, b Record) Record { return Record{a[0] + b[0]} },
+		eval:  func(r Record) float64 { return r[0] },
+	},
+}
+
+// PreAggByKind pre-aggregates one reading using the family's per-source
+// parameter.
+func PreAggByKind(k Kind, param, v float64) (Record, error) {
+	ops, ok := kindTable[k]
+	if !ok {
+		return nil, fmt.Errorf("agg: unknown kind %d", k)
+	}
+	return ops.preAgg(param, v), nil
+}
+
+// MergeByKind merges two records of the family.
+func MergeByKind(k Kind, a, b Record) (Record, error) {
+	ops, ok := kindTable[k]
+	if !ok {
+		return nil, fmt.Errorf("agg: unknown kind %d", k)
+	}
+	if len(a) != ops.slots || len(b) != ops.slots {
+		return nil, fmt.Errorf("agg: kind %d records need %d slots (got %d, %d)", k, ops.slots, len(a), len(b))
+	}
+	return ops.merge(a, b), nil
+}
+
+// EvalByKind evaluates a complete record of the family.
+func EvalByKind(k Kind, r Record) (float64, error) {
+	ops, ok := kindTable[k]
+	if !ok {
+		return 0, fmt.Errorf("agg: unknown kind %d", k)
+	}
+	if len(r) != ops.slots {
+		return 0, fmt.Errorf("agg: kind %d record needs %d slots (got %d)", k, ops.slots, len(r))
+	}
+	return ops.eval(r), nil
+}
+
+// SlotsOf returns the record arity of the family.
+func SlotsOf(k Kind) (int, error) {
+	ops, ok := kindTable[k]
+	if !ok {
+		return 0, fmt.Errorf("agg: unknown kind %d", k)
+	}
+	return ops.slots, nil
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,48 @@
+package agg
+
+import (
+	"fmt"
+
+	"m2m/internal/graph"
+)
+
+// Rebuild returns a copy of f restricted to the sources accepted by keep.
+// It is how the system adapts aggregation functions when nodes die or are
+// removed from a function (Section 3, "Adapting to Dynamic Situations").
+// It returns an error if no source survives or if f is of an unknown type.
+func Rebuild(f Func, keep func(graph.NodeID) bool) (Func, error) {
+	var kept []graph.NodeID
+	for _, s := range f.Sources() {
+		if keep(s) {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("agg: rebuild of %s leaves no sources", f.Name())
+	}
+	filterWeights := func(w weighted) map[graph.NodeID]float64 {
+		m := make(map[graph.NodeID]float64, len(kept))
+		for _, s := range kept {
+			m[s] = w.Weight(s)
+		}
+		return m
+	}
+	switch v := f.(type) {
+	case *WeightedSum:
+		return NewWeightedSum(filterWeights(v.weighted)), nil
+	case *WeightedAverage:
+		return NewWeightedAverage(filterWeights(v.weighted)), nil
+	case *WeightedStdDev:
+		return NewWeightedStdDev(filterWeights(v.weighted)), nil
+	case *Min:
+		return NewMin(kept), nil
+	case *Max:
+		return NewMax(kept), nil
+	case *Range:
+		return NewRange(kept), nil
+	case *CountAbove:
+		return NewCountAbove(kept, v.Threshold), nil
+	default:
+		return nil, fmt.Errorf("agg: cannot rebuild unknown function type %T", f)
+	}
+}

@@ -1,0 +1,108 @@
+// Package control closes the loop the paper's introduction motivates:
+// mapping in-network aggregate values ("control signals") to sampling
+// rates of expensive sensors, with hysteresis against flapping, and
+// accounting the sensing energy those decisions cost. Together with the
+// aggregation plan's communication energy this quantifies the end-to-end
+// benefit of in-network control.
+package control
+
+import (
+	"fmt"
+
+	"m2m/internal/graph"
+)
+
+// Controller converts one destination's control signal into a sampling
+// rate. Hysteresis: the rate switches high when the signal exceeds
+// OnThreshold and back low only when it falls below OffThreshold
+// (OffThreshold < OnThreshold).
+type Controller struct {
+	OnThreshold  float64
+	OffThreshold float64
+	HighRate     int // samples per round when active
+	LowRate      int // samples per round when idle
+	high         bool
+}
+
+// Validate checks threshold and rate sanity.
+func (c *Controller) Validate() error {
+	if c.OffThreshold > c.OnThreshold {
+		return fmt.Errorf("control: off threshold %v above on threshold %v",
+			c.OffThreshold, c.OnThreshold)
+	}
+	if c.LowRate < 0 || c.HighRate < c.LowRate {
+		return fmt.Errorf("control: rates low=%d high=%d invalid", c.LowRate, c.HighRate)
+	}
+	return nil
+}
+
+// Update feeds one control signal and returns the sampling rate to use.
+func (c *Controller) Update(signal float64) int {
+	switch {
+	case !c.high && signal > c.OnThreshold:
+		c.high = true
+	case c.high && signal < c.OffThreshold:
+		c.high = false
+	}
+	if c.high {
+		return c.HighRate
+	}
+	return c.LowRate
+}
+
+// Active reports whether the controller is currently in its high state.
+func (c *Controller) Active() bool { return c.high }
+
+// Bank manages one controller per controlled (destination) node and
+// accounts sensing energy.
+type Bank struct {
+	// SampleJoules is the energy of one expensive sample (e.g. one sap
+	// flux heat pulse).
+	SampleJoules float64
+	controllers  map[graph.NodeID]*Controller
+	totalSamples int
+}
+
+// NewBank returns an empty bank with the given per-sample energy.
+func NewBank(sampleJoules float64) *Bank {
+	return &Bank{SampleJoules: sampleJoules, controllers: make(map[graph.NodeID]*Controller)}
+}
+
+// Add registers a controller for node n.
+func (b *Bank) Add(n graph.NodeID, c Controller) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if _, dup := b.controllers[n]; dup {
+		return fmt.Errorf("control: node %d already has a controller", n)
+	}
+	b.controllers[n] = &c
+	return nil
+}
+
+// Round feeds this round's control signals (aggregate values per
+// destination) and returns each node's sampling rate. Destinations
+// without a fresh signal keep their previous state. Sensing energy
+// accumulates in the bank.
+func (b *Bank) Round(signals map[graph.NodeID]float64) map[graph.NodeID]int {
+	rates := make(map[graph.NodeID]int, len(b.controllers))
+	for n, c := range b.controllers {
+		if v, ok := signals[n]; ok {
+			rates[n] = c.Update(v)
+		} else if c.Active() {
+			rates[n] = c.HighRate
+		} else {
+			rates[n] = c.LowRate
+		}
+		b.totalSamples += rates[n]
+	}
+	return rates
+}
+
+// SensingJoules returns the accumulated sensing energy.
+func (b *Bank) SensingJoules() float64 {
+	return float64(b.totalSamples) * b.SampleJoules
+}
+
+// TotalSamples returns the accumulated expensive-sample count.
+func (b *Bank) TotalSamples() int { return b.totalSamples }

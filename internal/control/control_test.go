@@ -1,0 +1,76 @@
+package control
+
+import (
+	"testing"
+
+	"m2m/internal/graph"
+)
+
+func TestControllerHysteresis(t *testing.T) {
+	c := Controller{OnThreshold: 1.0, OffThreshold: 0.5, HighRate: 12, LowRate: 1}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		signal float64
+		want   int
+	}{
+		{0.0, 1},  // idle
+		{0.9, 1},  // below on-threshold: stays low
+		{1.1, 12}, // crosses on: high
+		{0.7, 12}, // between thresholds: hysteresis keeps high
+		{0.4, 1},  // below off: low again
+		{0.7, 1},  // between thresholds: stays low
+	}
+	for i, s := range steps {
+		if got := c.Update(s.signal); got != s.want {
+			t.Fatalf("step %d: rate = %d, want %d", i, got, s.want)
+		}
+	}
+}
+
+func TestControllerValidate(t *testing.T) {
+	bad := []Controller{
+		{OnThreshold: 0.5, OffThreshold: 1.0, HighRate: 2, LowRate: 1},
+		{OnThreshold: 1, OffThreshold: 0, HighRate: 1, LowRate: 2},
+		{OnThreshold: 1, OffThreshold: 0, HighRate: 1, LowRate: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("controller %d accepted", i)
+		}
+	}
+}
+
+func TestBankAccounting(t *testing.T) {
+	b := NewBank(0.5)
+	if err := b.Add(3, Controller{OnThreshold: 1, OffThreshold: 0.5, HighRate: 10, LowRate: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(3, Controller{OnThreshold: 1, HighRate: 1}); err == nil {
+		t.Error("duplicate controller accepted")
+	}
+	if err := b.Add(4, Controller{OnThreshold: 0.5, OffThreshold: 1, HighRate: 1}); err == nil {
+		t.Error("invalid controller accepted")
+	}
+
+	rates := b.Round(map[graph.NodeID]float64{3: 2.0})
+	if rates[3] != 10 {
+		t.Errorf("rate = %d, want 10", rates[3])
+	}
+	// No fresh signal: the controller holds its high state.
+	rates = b.Round(nil)
+	if rates[3] != 10 {
+		t.Errorf("held rate = %d, want 10", rates[3])
+	}
+	rates = b.Round(map[graph.NodeID]float64{3: 0.1})
+	if rates[3] != 1 {
+		t.Errorf("rate = %d, want 1", rates[3])
+	}
+	if b.TotalSamples() != 21 {
+		t.Errorf("samples = %d, want 21", b.TotalSamples())
+	}
+	if b.SensingJoules() != 10.5 {
+		t.Errorf("sensing = %v J, want 10.5", b.SensingJoules())
+	}
+}

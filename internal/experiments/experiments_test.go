@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllRunnersQuick(t *testing.T) {
+	// Smoke-run every experiment at reduced scale and sanity-check shape.
+	if testing.Short() {
+		t.Skip("experiment smoke tests skipped in -short mode")
+	}
+	cfg := Quick()
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tbl, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tbl.Len() == 0 {
+				t.Fatalf("%s: empty table", r.ID)
+			}
+			var b strings.Builder
+			if err := tbl.WriteText(&b); err != nil {
+				t.Fatal(err)
+			}
+			if len(b.String()) == 0 {
+				t.Fatalf("%s: empty rendering", r.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig3"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	tbl, err := Fig3(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := tbl.Column(ColOptimal)
+	mc := tbl.Column(ColMulticast)
+	ag := tbl.Column(ColAggregation)
+	fl := tbl.Column(ColFlood)
+	if len(opt) != 10 {
+		t.Fatalf("rows = %d", len(opt))
+	}
+	for i := range opt {
+		if opt[i] <= 0 {
+			t.Fatalf("non-positive optimal energy at row %d", i)
+		}
+		if opt[i] > mc[i]+1e-9 {
+			t.Errorf("row %d: optimal %v > multicast %v", i, opt[i], mc[i])
+		}
+		if opt[i] > ag[i]+1e-9 {
+			t.Errorf("row %d: optimal %v > aggregation %v", i, opt[i], ag[i])
+		}
+	}
+	// Flood dwarfs optimal on light workloads (paper's headline).
+	if fl[0] < 3*opt[0] {
+		t.Errorf("flood %v not ≫ optimal %v on light workload", fl[0], opt[0])
+	}
+	// Costs grow with workload for the plan-based algorithms.
+	if opt[9] <= opt[0] {
+		t.Errorf("optimal energy did not grow with workload: %v .. %v", opt[0], opt[9])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	tbl, err := Fig5(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := tbl.Column(ColOptimal)
+	mc := tbl.Column(ColMulticast)
+	ag := tbl.Column(ColAggregation)
+	for i := range opt {
+		if opt[i] > mc[i]+1e-9 || opt[i] > ag[i]+1e-9 {
+			t.Errorf("row %d: optimal not best (%v vs %v, %v)", i, opt[i], mc[i], ag[i])
+		}
+	}
+}
+
+func TestStateSizeRespectsBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	tbl, err := StateSize(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optState := tbl.Column("optimal_state")
+	bound := tbl.Column("bound_min_trees")
+	for i := range optState {
+		if optState[i] > 4*bound[i] {
+			t.Errorf("row %d: state %v exceeds 4× bound %v", i, optState[i], bound[i])
+		}
+	}
+}
+
+func TestIncrementalMostlyReuses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	tbl, err := Incremental(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := tbl.Column("pct_reused")
+	for i, r := range reused {
+		if r < 50 {
+			t.Errorf("row %d: only %v%% of edges reused", i, r)
+		}
+	}
+}
+
+func TestMilestonesMonotoneCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	tbl, err := Milestones(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer milestones (later rows) lose aggregation/sharing opportunities:
+	// keep-none must cost at least keep-all. (Virtual edge counts are not
+	// monotone — with no milestones every pair becomes its own s→d edge.)
+	e := tbl.Column("optimal_mJ")
+	if e[len(e)-1] < e[0] {
+		t.Errorf("keep-none energy %v below keep-all %v", e[len(e)-1], e[0])
+	}
+	for _, edges := range tbl.Column("virtual_edges") {
+		if edges <= 0 {
+			t.Error("non-positive virtual edge count")
+		}
+	}
+}
+
+func TestMergeAblationSavings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	tbl, err := MergeAblation(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range tbl.Column("savings_pct") {
+		if s <= 0 {
+			t.Errorf("row %d: merging saved %v%%", i, s)
+		}
+	}
+}

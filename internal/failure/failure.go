@@ -1,0 +1,88 @@
+// Package failure implements the failure-handling machinery of Section 3:
+// graph surgery for permanent link and node failures (after which the
+// planner re-optimizes incrementally per Corollary 1), and route-around
+// cost analysis for transient failures under milestone routing (the
+// communication layer is free to detour between milestones without
+// touching the plan).
+package failure
+
+import (
+	"fmt"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+)
+
+// RemoveLink returns a copy of g without the undirected link u—v.
+func RemoveLink(g *graph.Undirected, u, v graph.NodeID) (*graph.Undirected, error) {
+	c := g.Clone()
+	if !c.RemoveEdge(u, v) {
+		return nil, fmt.Errorf("failure: no link %d—%d", u, v)
+	}
+	return c, nil
+}
+
+// RemoveNode returns a copy of g with node n isolated (all incident links
+// removed). Node IDs are preserved; the dead node simply becomes
+// unreachable.
+func RemoveNode(g *graph.Undirected, n graph.NodeID) (*graph.Undirected, error) {
+	if int(n) < 0 || int(n) >= g.Len() {
+		return nil, fmt.Errorf("failure: node %d out of range", n)
+	}
+	c := g.Clone()
+	for _, nb := range g.Neighbors(n) {
+		c.RemoveEdge(n, nb)
+	}
+	return c, nil
+}
+
+// PruneSpecs removes a dead node from the workload: its own aggregation
+// function (if it was a destination) is dropped, and it is removed as a
+// source from every function. Functions that lose their last source are
+// dropped too; Dropped reports how many.
+func PruneSpecs(specs []agg.Spec, dead graph.NodeID) (pruned []agg.Spec, dropped int, err error) {
+	for _, sp := range specs {
+		if sp.Dest == dead {
+			dropped++
+			continue
+		}
+		if !sp.Func.HasSource(dead) {
+			pruned = append(pruned, sp)
+			continue
+		}
+		f, rerr := agg.Rebuild(sp.Func, func(s graph.NodeID) bool { return s != dead })
+		if rerr != nil {
+			// Last source died: the function can no longer be evaluated.
+			dropped++
+			continue
+		}
+		pruned = append(pruned, agg.Spec{Dest: sp.Dest, Func: f})
+	}
+	return pruned, dropped, nil
+}
+
+// DetourHops returns the hop length of the best route from u to v that
+// avoids the failed link, or an error if none exists. Under milestone
+// routing this is what the communication layer pays to ride out a
+// transient failure between two milestones without replanning.
+func DetourHops(g *graph.Undirected, u, v graph.NodeID, failedU, failedV graph.NodeID) (int, error) {
+	c, err := RemoveLink(g, failedU, failedV)
+	if err != nil {
+		return 0, err
+	}
+	h := c.BFS(u).Hops(v)
+	if h < 0 {
+		return 0, fmt.Errorf("failure: link %d—%d disconnects %d from %d",
+			failedU, failedV, u, v)
+	}
+	return h, nil
+}
+
+// Critical reports whether removing the link u—v disconnects the network.
+func Critical(g *graph.Undirected, u, v graph.NodeID) (bool, error) {
+	c, err := RemoveLink(g, u, v)
+	if err != nil {
+		return false, err
+	}
+	return !c.Connected(), nil
+}

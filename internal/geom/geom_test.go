@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{0, 0}, Point{0, 7}, 7},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); !almostEq(got, tt.want) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		p, q := Point{clamp(ax), clamp(ay)}, Point{clamp(bx), clamp(by)}
+		return almostEq(p.Dist(q), q.Dist(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDist2MatchesDist(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Restrict to a sane range to avoid overflow to +Inf.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		p := Point{clamp(ax), clamp(ay)}
+		q := Point{clamp(bx), clamp(by)}
+		d := p.Dist(q)
+		return almostEq(d*d, p.Dist2(q)) || math.Abs(d*d-p.Dist2(q)) < 1e-6*d*d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		c := Point{clamp(cx), clamp(cy)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p, q := Point{1, 2}, Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := (Point{3, 4}).Norm(); !almostEq(got, 5) {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(1, 2, 10, 20)
+	if r.Width() != 10 || r.Height() != 20 {
+		t.Fatalf("dims = %v × %v", r.Width(), r.Height())
+	}
+	if r.Area() != 200 {
+		t.Fatalf("Area = %v", r.Area())
+	}
+	if !r.Contains(Point{1, 2}) || !r.Contains(Point{11, 22}) || !r.Contains(Point{5, 10}) {
+		t.Error("Contains failed on inside/boundary points")
+	}
+	if r.Contains(Point{0, 10}) || r.Contains(Point{5, 23}) {
+		t.Error("Contains accepted outside points")
+	}
+	if got := r.Center(); got != (Point{6, 12}) {
+		t.Errorf("Center = %v", got)
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	tests := []struct{ in, want Point }{
+		{Point{-5, 5}, Point{0, 5}},
+		{Point{5, 15}, Point{5, 10}},
+		{Point{12, -3}, Point{10, 0}},
+		{Point{3, 4}, Point{3, 4}},
+	}
+	for _, tt := range tests {
+		if got := r.Clamp(tt.in); got != tt.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestClampInsideProperty(t *testing.T) {
+	r := NewRect(0, 0, 106, 203)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		return r.Contains(r.Clamp(Point{x, y}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if got := Bounds(nil); got != (Rect{}) {
+		t.Errorf("Bounds(nil) = %v", got)
+	}
+	pts := []Point{{1, 5}, {-2, 3}, {4, -1}}
+	got := Bounds(pts)
+	want := Rect{MinX: -2, MinY: -1, MaxX: 4, MaxY: 5}
+	if got != want {
+		t.Errorf("Bounds = %v, want %v", got, want)
+	}
+	for _, p := range pts {
+		if !got.Contains(p) {
+			t.Errorf("Bounds does not contain %v", p)
+		}
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); got != (Point{}) {
+		t.Errorf("Centroid(nil) = %v", got)
+	}
+	got := Centroid([]Point{{0, 0}, {2, 0}, {1, 3}})
+	if !almostEq(got.X, 1) || !almostEq(got.Y, 1) {
+		t.Errorf("Centroid = %v", got)
+	}
+}

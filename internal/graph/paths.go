@@ -1,0 +1,228 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Unreachable is the distance reported for nodes with no path to the
+// search root.
+const Unreachable = math.MaxFloat64
+
+// PathTree is the result of a single-source search: for every node, the
+// distance from (or to) the root and the deterministic parent pointer
+// toward the root. Parent[root] == root; Parent[u] == -1 for unreachable u.
+type PathTree struct {
+	Root   NodeID
+	Dist   []float64
+	Parent []NodeID
+}
+
+// Reachable reports whether u was reached by the search.
+func (t *PathTree) Reachable(u NodeID) bool { return t.Parent[u] != -1 }
+
+// PathTo returns the node sequence from t.Root to u (inclusive of both), or
+// nil if u is unreachable.
+func (t *PathTree) PathTo(u NodeID) []NodeID {
+	if !t.Reachable(u) {
+		return nil
+	}
+	var rev []NodeID
+	for v := u; ; v = t.Parent[v] {
+		rev = append(rev, v)
+		if v == t.Root {
+			break
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Hops returns the number of edges on the tree path from the root to u, or
+// -1 if unreachable.
+func (t *PathTree) Hops(u NodeID) int {
+	if !t.Reachable(u) {
+		return -1
+	}
+	h := 0
+	for v := u; v != t.Root; v = t.Parent[v] {
+		h++
+	}
+	return h
+}
+
+// BFS computes hop-count shortest paths from root, breaking parent ties by
+// smallest parent ID. Every edge counts as distance 1 regardless of weight.
+func (g *Undirected) BFS(root NodeID) *PathTree {
+	t := newTree(g.n, root)
+	t.Dist[root] = 0
+	queue := []NodeID{root}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		// Visiting sorted neighbors guarantees the smallest-ID parent wins
+		// among equal-distance candidates, because a node is claimed by the
+		// first BFS layer that reaches it and queue order within a layer
+		// follows parent ID then neighbor ID.
+		for _, v := range g.Neighbors(u) {
+			du := t.Dist[u] + 1
+			if t.Parent[v] == -1 && v != root {
+				t.Parent[v] = u
+				t.Dist[v] = du
+				queue = append(queue, v)
+			} else if t.Dist[v] == du && u < t.Parent[v] && v != root {
+				t.Parent[v] = u
+			}
+		}
+	}
+	return t
+}
+
+// Dijkstra computes weighted shortest paths from root with deterministic
+// tiebreaking: among equal-distance paths, the parent with the smallest ID
+// is chosen. Edge weights must be non-negative.
+func (g *Undirected) Dijkstra(root NodeID) *PathTree {
+	t := newTree(g.n, root)
+	t.Dist[root] = 0
+	pq := &nodeHeap{{id: root, dist: 0}}
+	done := make([]bool, g.n)
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeItem)
+		u := item.id
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, h := range g.adj[u] {
+			v, w := h.to, h.w
+			nd := t.Dist[u] + w
+			switch {
+			case nd < t.Dist[v]:
+				t.Dist[v] = nd
+				t.Parent[v] = u
+				heap.Push(pq, nodeItem{id: v, dist: nd})
+			case nd == t.Dist[v] && u < t.Parent[v] && v != root:
+				t.Parent[v] = u
+			}
+		}
+	}
+	return t
+}
+
+func newTree(n int, root NodeID) *PathTree {
+	t := &PathTree{
+		Root:   root,
+		Dist:   make([]float64, n),
+		Parent: make([]NodeID, n),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = Unreachable
+		t.Parent[i] = -1
+	}
+	t.Parent[root] = root
+	return t
+}
+
+type nodeItem struct {
+	id   NodeID
+	dist float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].id < h[j].id
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Components returns the connected components of g, each sorted by ID, with
+// components ordered by their smallest member.
+func (g *Undirected) Components() [][]NodeID {
+	seen := make([]bool, g.n)
+	var comps [][]NodeID
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []NodeID
+		stack := []NodeID{NodeID(s)}
+		seen[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			for _, h := range g.adj[u] {
+				if !seen[h.to] {
+					seen[h.to] = true
+					stack = append(stack, h.to)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Connected reports whether g is connected (trivially true for n <= 1).
+func (g *Undirected) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	return len(g.Components()) == 1
+}
+
+// MST computes a minimum spanning tree of g using Prim's algorithm with
+// smallest-ID tiebreaking, returning the tree as a PathTree rooted at root.
+// If g is disconnected, nodes outside root's component are unreachable in
+// the result.
+func (g *Undirected) MST(root NodeID) *PathTree {
+	t := newTree(g.n, root)
+	t.Dist[root] = 0
+	inTree := make([]bool, g.n)
+	best := make([]float64, g.n)
+	for i := range best {
+		best[i] = Unreachable
+	}
+	best[root] = 0
+	pq := &nodeHeap{{id: root, dist: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeItem)
+		u := item.id
+		if inTree[u] {
+			continue
+		}
+		inTree[u] = true
+		if u != root {
+			w, _ := g.Weight(u, t.Parent[u])
+			t.Dist[u] = t.Dist[t.Parent[u]] + w
+		}
+		for _, h := range g.adj[u] {
+			v, w := h.to, h.w
+			if inTree[v] {
+				continue
+			}
+			if w < best[v] || (w == best[v] && u < t.Parent[v]) {
+				best[v] = w
+				t.Parent[v] = u
+				heap.Push(pq, nodeItem{id: v, dist: w})
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,294 @@
+// Package motesim executes one aggregation round the way the deployed
+// motes would: each node holds ONLY its decoded dissemination blob (the
+// four tables of Section 3, reconstructed by wire.DecodeNodeTables) plus
+// its destination evaluator, and exchanges wire-encoded messages. No node
+// ever touches the Plan, the Instance, or another node's state.
+//
+// This is the repository's strongest validation of the runtime design:
+// if BuildTables or the wire format dropped anything a mote needs — a
+// forwarding entry, a pre-aggregation weight, an input count, an outgoing
+// batch size — the round would deadlock or produce wrong values, and the
+// tests compare every destination against direct evaluation.
+package motesim
+
+import (
+	"fmt"
+	"sort"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+	"m2m/internal/plan"
+	"m2m/internal/wire"
+)
+
+// destMeta is the only extra state a destination (or record-forwarding
+// relay) needs beyond its tables: the function family of each destination
+// it handles. A production encoding would carry this byte in the partial
+// table entry; here it is distributed as a tiny side table.
+type destMeta struct {
+	kind agg.Kind
+}
+
+// mote is one node's runtime state.
+type mote struct {
+	id     graph.NodeID
+	tables *wire.NodeTables
+
+	// reading is this round's local sensor value.
+	reading float64
+
+	// acc accumulates partial records per destination handled here.
+	acc    map[graph.NodeID]agg.Record
+	inputs map[graph.NodeID]int
+
+	// outbox batches message units per outgoing edge until the expected
+	// unit count (from the outgoing table) is reached.
+	outbox map[graph.NodeID][]wire.Unit
+
+	// expected units per outgoing neighbor, from the outgoing table.
+	expected map[graph.NodeID]int
+
+	// sent guards against double-sending a batch.
+	sent map[graph.NodeID]bool
+
+	// seenRaw makes raw processing idempotent: with per-source multicast
+	// DAGs the same raw value can arrive over two in-edges, and a real
+	// mote dedupes by (source, round).
+	seenRaw map[graph.NodeID]bool
+}
+
+// Result reports one mote-level round.
+type Result struct {
+	// Values are the destinations' evaluated aggregates.
+	Values map[graph.NodeID]float64
+	// Messages is the number of physical messages exchanged.
+	Messages int
+	// WireBytes is the total encoded payload exchanged.
+	WireBytes int
+	// Deliveries counts unit deliveries (for diagnostics).
+	Deliveries int
+}
+
+// Run executes one round from disseminated state. The instance is used
+// only to build and encode the tables and to know each destination's
+// function kind and evaluator — exactly what dissemination installs.
+func Run(inst *plan.Instance, p *plan.Plan, readings map[graph.NodeID]float64) (*Result, error) {
+	tab, err := p.BuildTables()
+	if err != nil {
+		return nil, err
+	}
+
+	// Dissemination: encode every node's blob, then decode it at the mote.
+	motes := make(map[graph.NodeID]*mote, inst.Net.Len())
+	for n := 0; n < inst.Net.Len(); n++ {
+		id := graph.NodeID(n)
+		blob, err := wire.EncodeNodeTables(inst, tab, id)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := wire.DecodeNodeTables(id, blob)
+		if err != nil {
+			return nil, err
+		}
+		m := &mote{
+			id:       id,
+			tables:   dec,
+			reading:  quantize(readings[id]),
+			acc:      make(map[graph.NodeID]agg.Record),
+			inputs:   make(map[graph.NodeID]int),
+			outbox:   make(map[graph.NodeID][]wire.Unit),
+			expected: make(map[graph.NodeID]int),
+			sent:     make(map[graph.NodeID]bool),
+			seenRaw:  make(map[graph.NodeID]bool),
+		}
+		for _, e := range dec.Outgoing {
+			m.expected[e.Out.To] = e.Units
+		}
+		motes[id] = m
+	}
+
+	// Destination metadata (function kind), installed alongside the blob.
+	meta := make(map[graph.NodeID]destMeta, len(inst.SpecByDest))
+	for d, sp := range inst.SpecByDest {
+		k, err := agg.KindOf(sp.Func)
+		if err != nil {
+			return nil, err
+		}
+		meta[d] = destMeta{kind: k}
+	}
+
+	res := &Result{Values: make(map[graph.NodeID]float64)}
+
+	// The event queue carries encoded messages between motes.
+	type envelope struct {
+		from, to graph.NodeID
+		payload  []byte
+	}
+	var queue []envelope
+
+	flush := func(m *mote) error {
+		var tos []graph.NodeID
+		for to := range m.outbox {
+			tos = append(tos, to)
+		}
+		sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+		for _, to := range tos {
+			if m.sent[to] || len(m.outbox[to]) < m.expected[to] {
+				continue
+			}
+			if len(m.outbox[to]) > m.expected[to] {
+				return fmt.Errorf("motesim: node %d overfilled batch to %d (%d > %d)",
+					m.id, to, len(m.outbox[to]), m.expected[to])
+			}
+			payload, err := wire.EncodeMessage(m.outbox[to])
+			if err != nil {
+				return err
+			}
+			m.sent[to] = true
+			queue = append(queue, envelope{from: m.id, to: to, payload: payload})
+			res.Messages++
+			res.WireBytes += len(payload)
+		}
+		return nil
+	}
+
+	// consume routes one delivered (or locally generated) unit through a
+	// mote's tables.
+	var consume func(m *mote, u wire.Unit) error
+	consume = func(m *mote, u wire.Unit) error {
+		res.Deliveries++
+		switch u.Kind {
+		case plan.UnitRaw:
+			src := u.Node
+			if m.seenRaw[src] {
+				return nil
+			}
+			m.seenRaw[src] = true
+			v := u.Values[0]
+			// Forwarding per the raw table.
+			for _, e := range m.tables.Raw {
+				if e.Source == src {
+					m.outbox[e.Out.To] = append(m.outbox[e.Out.To],
+						wire.Unit{Kind: plan.UnitRaw, Node: src, Values: []float64{v}})
+				}
+			}
+			// Pre-aggregation per the pre-agg table.
+			for _, e := range m.tables.PreAgg {
+				if e.Source != src {
+					continue
+				}
+				md, ok := meta[e.Dest]
+				if !ok {
+					return fmt.Errorf("motesim: node %d lacks kind for destination %d", m.id, e.Dest)
+				}
+				rec, err := agg.PreAggByKind(md.kind, e.Weight, v)
+				if err != nil {
+					return err
+				}
+				if err := m.contribute(e.Dest, md.kind, rec); err != nil {
+					return err
+				}
+			}
+		case plan.UnitAgg:
+			d := u.Node
+			md, ok := meta[d]
+			if !ok {
+				return fmt.Errorf("motesim: node %d received record for unknown destination %d", m.id, d)
+			}
+			if err := m.contribute(d, md.kind, agg.Record(u.Values)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("motesim: unknown unit kind %d", u.Kind)
+		}
+
+		// Completed partial entries emit records or final values.
+		for _, e := range m.tables.Partial {
+			if m.inputs[e.Dest] != e.Inputs || m.acc[e.Dest] == nil {
+				continue
+			}
+			rec := m.acc[e.Dest]
+			m.inputs[e.Dest] = -1 // fire once
+			if e.Local {
+				md := meta[e.Dest]
+				v, err := agg.EvalByKind(md.kind, rec)
+				if err != nil {
+					return err
+				}
+				res.Values[e.Dest] = v
+			} else {
+				m.outbox[e.Out.To] = append(m.outbox[e.Out.To],
+					wire.Unit{Kind: plan.UnitAgg, Node: e.Dest, Values: rec})
+			}
+		}
+		return flush(m)
+	}
+
+	// Round start: every node "hears" its own reading.
+	var ids []graph.NodeID
+	for id := range motes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m := motes[id]
+		if err := consume(m, wire.Unit{Kind: plan.UnitRaw, Node: id, Values: []float64{m.reading}}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Deliver until quiescent.
+	for len(queue) > 0 {
+		env := queue[0]
+		queue = queue[1:]
+		units, err := wire.DecodeMessage(env.payload)
+		if err != nil {
+			return nil, fmt.Errorf("motesim: %d→%d: %w", env.from, env.to, err)
+		}
+		m, ok := motes[env.to]
+		if !ok {
+			return nil, fmt.Errorf("motesim: message to unknown node %d", env.to)
+		}
+		for _, u := range units {
+			if err := consume(m, u); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Deadlock check: every destination must have reported.
+	for d := range inst.SpecByDest {
+		if _, ok := res.Values[d]; !ok {
+			return nil, fmt.Errorf("motesim: destination %d never completed (deadlock: tables incomplete)", d)
+		}
+	}
+	return res, nil
+}
+
+// contribute merges one input into the destination's accumulator.
+func (m *mote) contribute(d graph.NodeID, k agg.Kind, rec agg.Record) error {
+	if m.inputs[d] == -1 {
+		return fmt.Errorf("motesim: node %d received input for %d after firing", m.id, d)
+	}
+	if prev, ok := m.acc[d]; ok {
+		merged, err := agg.MergeByKind(k, prev, rec)
+		if err != nil {
+			return err
+		}
+		m.acc[d] = merged
+	} else {
+		m.acc[d] = rec.Clone()
+	}
+	m.inputs[d]++
+	return nil
+}
+
+// quantize models the sensor ADC: readings enter the network at wire
+// fixed-point resolution.
+func quantize(v float64) float64 {
+	f, err := wire.EncodeFixed(v)
+	if err != nil {
+		return 0
+	}
+	return wire.DecodeFixed(f)
+}

@@ -1,0 +1,141 @@
+package plan
+
+import (
+	"m2m/internal/agg"
+	"m2m/internal/routing"
+)
+
+// UpdateStats quantifies the locality of an incremental re-optimization
+// (Corollary 1): how much of the old plan survived and how much state had
+// to be pushed back into the network.
+type UpdateStats struct {
+	// EdgesTotal is the number of edges in the new instance.
+	EdgesTotal int
+	// EdgesReused is the number of edges whose single-edge inputs were
+	// unchanged and whose old solutions were carried over verbatim.
+	EdgesReused int
+	// EdgesSolved counts fresh single-edge optimizations (new or changed
+	// inputs, plus any consistency repairs).
+	EdgesSolved int
+	// EdgesChangedSolution counts edges whose final solution differs from
+	// the old plan (including edges absent from one of the two plans) —
+	// the node-state updates that must be disseminated.
+	EdgesChangedSolution int
+}
+
+// Reoptimize computes the optimal plan for inst while reusing every
+// single-edge solution of old whose inputs (the pairs crossing the edge
+// and the unit weights of their endpoints) are unchanged. Corollary 1
+// guarantees the reused solutions remain part of the new optimum, so the
+// result is identical to Optimize(inst) — tests assert this — at a
+// fraction of the work.
+func Reoptimize(old *Plan, inst *Instance) (*Plan, *UpdateStats, error) {
+	p := &Plan{Inst: inst, Method: MethodOptimal, Sol: make(map[routing.Edge]*EdgeSolution, len(inst.EdgeList))}
+	stats := &UpdateStats{EdgesTotal: len(inst.EdgeList)}
+	for _, e := range inst.EdgeList {
+		if old != nil && sameEdgeInputs(old.Inst, inst, e) {
+			if prev, ok := old.Sol[e]; ok && len(prev.ForbiddenRaw) == 0 {
+				p.Sol[e] = cloneSolution(prev)
+				stats.EdgesReused++
+				continue
+			}
+		}
+		sol, err := solveEdge(inst, e, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.Sol[e] = sol
+		stats.EdgesSolved++
+	}
+	repairsBefore := p.Repairs
+	if err := p.repairLoop(); err != nil {
+		return nil, nil, err
+	}
+	stats.EdgesSolved += p.Repairs - repairsBefore
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if old != nil {
+		stats.EdgesChangedSolution = countChangedSolutions(old, p)
+	} else {
+		stats.EdgesChangedSolution = len(inst.EdgeList)
+	}
+	return p, stats, nil
+}
+
+// sameEdgeInputs reports whether edge e poses the identical single-edge
+// problem in both instances: same pair set and same unit weights for every
+// endpoint.
+func sameEdgeInputs(oldInst, newInst *Instance, e routing.Edge) bool {
+	a, b := oldInst.EdgePairs[e], newInst.EdgePairs[e]
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	// Destination record weights depend on the aggregation function;
+	// compare them too. (Raw unit weights are a global constant.)
+	for _, d := range newInst.EdgeDests(e) {
+		oldSpec, ok := oldInst.SpecByDest[d]
+		if !ok {
+			return false
+		}
+		if agg.UnitBytes(oldSpec.Func) != agg.UnitBytes(newInst.SpecByDest[d].Func) {
+			return false
+		}
+	}
+	return true
+}
+
+func cloneSolution(s *EdgeSolution) *EdgeSolution {
+	c := newEdgeSolution()
+	for k := range s.Raw {
+		c.Raw[k] = true
+	}
+	for k := range s.Agg {
+		c.Agg[k] = true
+	}
+	for k := range s.ForbiddenRaw {
+		c.ForbiddenRaw[k] = true
+	}
+	c.Resolves = s.Resolves
+	return c
+}
+
+func sameSolution(a, b *EdgeSolution) bool {
+	if len(a.Raw) != len(b.Raw) || len(a.Agg) != len(b.Agg) {
+		return false
+	}
+	for k := range a.Raw {
+		if !b.Raw[k] {
+			return false
+		}
+	}
+	for k := range a.Agg {
+		if !b.Agg[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func countChangedSolutions(old, new_ *Plan) int {
+	changed := 0
+	seen := make(map[routing.Edge]bool)
+	for e, sol := range new_.Sol {
+		seen[e] = true
+		prev, ok := old.Sol[e]
+		if !ok || !sameSolution(prev, sol) {
+			changed++
+		}
+	}
+	for e := range old.Sol {
+		if !seen[e] {
+			changed++ // edge disappeared; its nodes must drop state
+		}
+	}
+	return changed
+}

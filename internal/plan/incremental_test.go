@@ -1,0 +1,194 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+	"m2m/internal/routing"
+)
+
+// withExtraSource returns inst's specs with one new source added to the
+// spec of dest.
+func withExtraSource(t *testing.T, inst *Instance, dest, src graph.NodeID) []agg.Spec {
+	t.Helper()
+	var specs []agg.Spec
+	for _, sp := range inst.Specs {
+		if sp.Dest != dest {
+			specs = append(specs, sp)
+			continue
+		}
+		w := make(map[graph.NodeID]float64)
+		for _, s := range sp.Func.Sources() {
+			w[s] = 1
+		}
+		w[src] = 1
+		specs = append(specs, agg.Spec{Dest: dest, Func: agg.NewWeightedSum(w)})
+	}
+	return specs
+}
+
+func TestReoptimizeMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 8; trial++ {
+		inst := randomInstance(t, rng, 40, 6, 5, sharedRouter(t))
+		old, err := Optimize(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Add a random new source to a random destination.
+		dests := inst.Dests()
+		d := dests[rng.Intn(len(dests))]
+		var src graph.NodeID
+		for {
+			src = graph.NodeID(rng.Intn(inst.Net.Len()))
+			if !inst.SpecByDest[d].Func.HasSource(src) {
+				break
+			}
+		}
+		newInst, err := NewInstance(inst.Net, inst.Router, withExtraSource(t, inst, d, src))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		incr, stats, err := Reoptimize(old, newInst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Optimize(newInst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if incr.TotalBodyBytes() != fresh.TotalBodyBytes() {
+			t.Fatalf("trial %d: incremental cost %d != fresh cost %d",
+				trial, incr.TotalBodyBytes(), fresh.TotalBodyBytes())
+		}
+		for e, sol := range fresh.Sol {
+			if !sameSolution(sol, incr.Sol[e]) {
+				t.Fatalf("trial %d: solutions differ on %v", trial, e)
+			}
+		}
+		if stats.EdgesReused == 0 {
+			t.Errorf("trial %d: nothing reused (total %d edges)", trial, stats.EdgesTotal)
+		}
+		if stats.EdgesReused+stats.EdgesSolved < stats.EdgesTotal {
+			t.Errorf("trial %d: reused %d + solved %d < total %d",
+				trial, stats.EdgesReused, stats.EdgesSolved, stats.EdgesTotal)
+		}
+	}
+}
+
+func TestCorollary1Locality(t *testing.T) {
+	// Adding one source must leave every edge whose single-edge inputs are
+	// unchanged with an unchanged solution (Corollary 1): the number of
+	// changed solutions must be at most the number of freshly solved edges.
+	rng := rand.New(rand.NewSource(62))
+	inst := randomInstance(t, rng, 50, 8, 6, sharedRouter(t))
+	old, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inst.Dests()[0]
+	var src graph.NodeID
+	for {
+		src = graph.NodeID(rng.Intn(inst.Net.Len()))
+		if !inst.SpecByDest[d].Func.HasSource(src) {
+			break
+		}
+	}
+	newInst, err := NewInstance(inst.Net, inst.Router, withExtraSource(t, inst, d, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, stats, err := Reoptimize(old, newInst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EdgesChangedSolution > stats.EdgesSolved {
+		t.Errorf("changed %d > solved %d: a reused edge changed its solution",
+			stats.EdgesChangedSolution, stats.EdgesSolved)
+	}
+	// The touched edges must lie on the new pair's path.
+	path := newInst.Paths[Pair{Source: src, Dest: d}]
+	onPath := make(map[routing.Edge]bool)
+	for i := 0; i+1 < len(path); i++ {
+		onPath[routing.Edge{From: path[i], To: path[i+1]}] = true
+	}
+	for e, sol := range incr.Sol {
+		prev, existed := old.Sol[e]
+		if existed && !sameSolution(prev, sol) && !onPath[e] {
+			t.Errorf("edge %v changed solution but is not on the new pair's path", e)
+		}
+	}
+}
+
+func TestReoptimizeFromNil(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	inst := randomInstance(t, rng, 30, 5, 4, sharedRouter(t))
+	p, stats, err := Reoptimize(nil, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalBodyBytes() != fresh.TotalBodyBytes() {
+		t.Error("nil-based reoptimize differs from Optimize")
+	}
+	if stats.EdgesReused != 0 || stats.EdgesSolved < stats.EdgesTotal {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestRemoveSourceLocality(t *testing.T) {
+	// Removing a source: only edges along its old path may change.
+	rng := rand.New(rand.NewSource(64))
+	inst := randomInstance(t, rng, 45, 6, 6, sharedRouter(t))
+	old, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := inst.Dests()[0]
+	victim := inst.SpecByDest[d].Func.Sources()[0]
+	var specs []agg.Spec
+	for _, sp := range inst.Specs {
+		if sp.Dest != d {
+			specs = append(specs, sp)
+			continue
+		}
+		w := make(map[graph.NodeID]float64)
+		for _, s := range sp.Func.Sources() {
+			if s != victim {
+				w[s] = 1
+			}
+		}
+		specs = append(specs, agg.Spec{Dest: d, Func: agg.NewWeightedSum(w)})
+	}
+	newInst, err := NewInstance(inst.Net, inst.Router, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, _, err := Reoptimize(old, newInst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Optimize(newInst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incr.TotalBodyBytes() != fresh.TotalBodyBytes() {
+		t.Error("incremental after removal differs from fresh")
+	}
+	oldPath := inst.Paths[Pair{Source: victim, Dest: d}]
+	onPath := make(map[routing.Edge]bool)
+	for i := 0; i+1 < len(oldPath); i++ {
+		onPath[routing.Edge{From: oldPath[i], To: oldPath[i+1]}] = true
+	}
+	for e, sol := range incr.Sol {
+		if prev, ok := old.Sol[e]; ok && !sameSolution(prev, sol) && !onPath[e] {
+			t.Errorf("edge %v off the removed pair's path changed", e)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package plan
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+	"m2m/internal/routing"
+)
+
+// Method names a planning strategy (the paper's four algorithms minus
+// flood, which needs no plan).
+type Method string
+
+// Planning strategies.
+const (
+	MethodOptimal     Method = "optimal"     // balanced multicast + aggregation (the paper's contribution)
+	MethodMulticast   Method = "multicast"   // raw values all the way; aggregate only at destinations
+	MethodAggregation Method = "aggregation" // aggregate at the earliest opportunity
+)
+
+// EdgeSolution is the transmit decision for one directed edge: which
+// sources travel raw and which destinations travel as partial aggregate
+// records (the vertex cover of the edge's bipartite problem).
+type EdgeSolution struct {
+	Raw map[graph.NodeID]bool
+	Agg map[graph.NodeID]bool
+	// ForbiddenRaw records sources whose raw option was removed by the
+	// consistency repair pass (only non-empty when the router violates the
+	// paper's sharing restriction).
+	ForbiddenRaw map[graph.NodeID]bool
+	// Resolves counts how many times this edge was (re-)solved.
+	Resolves int
+}
+
+// NewEdgeSolution returns an empty solution with initialized sets, for
+// alternative planners (e.g. the distributed optimizer) that assemble
+// Plans themselves.
+func NewEdgeSolution() *EdgeSolution {
+	return &EdgeSolution{
+		Raw:          make(map[graph.NodeID]bool),
+		Agg:          make(map[graph.NodeID]bool),
+		ForbiddenRaw: make(map[graph.NodeID]bool),
+	}
+}
+
+func newEdgeSolution() *EdgeSolution { return NewEdgeSolution() }
+
+// Plan is a global many-to-many aggregation plan: one EdgeSolution per
+// workload edge.
+type Plan struct {
+	Inst    *Instance
+	Method  Method
+	Sol     map[routing.Edge]*EdgeSolution
+	Repairs int // edges re-solved to restore consistency (0 under Theorem 1's assumptions)
+}
+
+// Optimize computes the paper's optimal plan: every edge is solved as an
+// independent weighted bipartite vertex cover with the canonical global
+// tiebreak. If the router satisfies the paper's sharing restriction,
+// Theorem 1 guarantees the per-edge optima are mutually consistent and the
+// repair loop never fires; otherwise conflicting edges are re-solved with
+// the unavailable raw options forbidden, and Repairs reports how many.
+func Optimize(inst *Instance) (*Plan, error) {
+	p := &Plan{Inst: inst, Method: MethodOptimal, Sol: make(map[routing.Edge]*EdgeSolution, len(inst.EdgeList))}
+	// The single-edge problems are independent by construction (that is
+	// the point of Theorem 1), so solve them in parallel; results are
+	// identical to a sequential pass regardless of scheduling.
+	sols := make([]*EdgeSolution, len(inst.EdgeList))
+	errs := make([]error, len(inst.EdgeList))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(inst.EdgeList) {
+		workers = len(inst.EdgeList)
+	}
+	var next int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(inst.EdgeList) {
+					return
+				}
+				sols[i], errs[i] = solveEdge(inst, inst.EdgeList[i], nil)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, e := range inst.EdgeList {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		p.Sol[e] = sols[i]
+	}
+	if err := p.repairLoop(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("plan: internal error: %w", err)
+	}
+	return p, nil
+}
+
+// repairLoop restores consistency: it forbids raw options that upstream
+// decisions made unavailable and re-solves the affected edges, to
+// fixpoint. Each iteration forbids at least one new (edge, source) raw
+// option, so the loop terminates. Under the paper's sharing restriction
+// (Theorem 1) no iteration ever fires.
+func (p *Plan) repairLoop() error {
+	for {
+		violations := p.rawViolations()
+		if len(violations) == 0 {
+			return nil
+		}
+		resolve := make(map[routing.Edge]bool)
+		for _, v := range violations {
+			p.Sol[v.edge].ForbiddenRaw[v.source] = true
+			resolve[v.edge] = true
+		}
+		for e := range resolve {
+			sol, err := solveEdge(p.Inst, e, p.Sol[e].ForbiddenRaw)
+			if err != nil {
+				return err
+			}
+			sol.Resolves = p.Sol[e].Resolves + 1
+			for s := range p.Sol[e].ForbiddenRaw {
+				sol.ForbiddenRaw[s] = true
+			}
+			p.Sol[e] = sol
+			p.Repairs++
+		}
+	}
+}
+
+// Multicast returns the pure-multicast baseline plan: every value crosses
+// every edge raw and is aggregated only at its destination.
+func Multicast(inst *Instance) *Plan {
+	p := &Plan{Inst: inst, Method: MethodMulticast, Sol: make(map[routing.Edge]*EdgeSolution, len(inst.EdgeList))}
+	for _, e := range inst.EdgeList {
+		sol := newEdgeSolution()
+		for _, s := range inst.EdgeSources(e) {
+			sol.Raw[s] = true
+		}
+		sol.Resolves = 1
+		p.Sol[e] = sol
+	}
+	return p
+}
+
+// AggregateASAP returns the pure in-network aggregation baseline: every
+// value is folded into per-destination partial records at the earliest
+// opportunity (already at the source), as in Figure 1(A)'s bad case.
+func AggregateASAP(inst *Instance) *Plan {
+	p := &Plan{Inst: inst, Method: MethodAggregation, Sol: make(map[routing.Edge]*EdgeSolution, len(inst.EdgeList))}
+	for _, e := range inst.EdgeList {
+		sol := newEdgeSolution()
+		for _, d := range inst.EdgeDests(e) {
+			sol.Agg[d] = true
+		}
+		sol.Resolves = 1
+		p.Sol[e] = sol
+	}
+	return p
+}
+
+// solveEdge reduces edge e to weighted bipartite vertex cover and solves it
+// exactly. U holds the sources S_e (weight: raw unit bytes), V the
+// destinations D_e (weight: that destination's record unit bytes), with the
+// canonical tiebreak keys 2·node (source role) and 2·node+1 (destination
+// role) shared by every edge in the network.
+func solveEdge(inst *Instance, e routing.Edge, forbidRaw map[graph.NodeID]bool) (*EdgeSolution, error) {
+	sources := inst.EdgeSources(e)
+	dests := inst.EdgeDests(e)
+	uIdx := make(map[graph.NodeID]int, len(sources))
+	vIdx := make(map[graph.NodeID]int, len(dests))
+	prob := &vcoverProblem{}
+	for i, s := range sources {
+		uIdx[s] = i
+		prob.addU(int(s)*2, int64(agg.RawUnitBytes))
+	}
+	for j, d := range dests {
+		vIdx[d] = j
+		prob.addV(int(d)*2+1, int64(agg.UnitBytes(inst.SpecByDest[d].Func)))
+	}
+	seen := make(map[[2]int]bool)
+	for _, pr := range inst.EdgePairs[e] {
+		k := [2]int{uIdx[pr.Source], vIdx[pr.Dest]}
+		if !seen[k] {
+			seen[k] = true
+			prob.addEdge(k[0], k[1])
+		}
+	}
+	var forbidU []bool
+	if len(forbidRaw) > 0 {
+		forbidU = make([]bool, len(sources))
+		for i, s := range sources {
+			forbidU[i] = forbidRaw[s]
+		}
+	}
+	cover, err := prob.solve(forbidU)
+	if err != nil {
+		return nil, fmt.Errorf("plan: edge %v: %w", e, err)
+	}
+	sol := newEdgeSolution()
+	sol.Resolves = 1
+	for i, s := range sources {
+		if cover.InU[i] {
+			sol.Raw[s] = true
+		}
+	}
+	for j, d := range dests {
+		if cover.InV[j] {
+			sol.Agg[d] = true
+		}
+	}
+	return sol, nil
+}
+
+type violation struct {
+	edge   routing.Edge
+	source graph.NodeID
+}
+
+// rawViolations finds every edge that transmits a source raw although the
+// raw value cannot have reached the edge's tail (it was aggregated on every
+// upstream route). Availability is a fixpoint over the source's multicast
+// structure: the value is available at the source itself and at the head
+// of every edge that both transmits it raw and has it available at its
+// tail.
+func (p *Plan) rawViolations() []violation {
+	// Group each source's raw-carrying edges.
+	edgesBySource := make(map[graph.NodeID][]routing.Edge)
+	for _, e := range p.Inst.EdgeList {
+		for s := range p.Sol[e].Raw {
+			edgesBySource[s] = append(edgesBySource[s], e)
+		}
+	}
+	var out []violation
+	srcs := make([]graph.NodeID, 0, len(edgesBySource))
+	for s := range edgesBySource {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, s := range srcs {
+		edges := edgesBySource[s]
+		avail := map[graph.NodeID]bool{s: true}
+		for changed := true; changed; {
+			changed = false
+			for _, e := range edges {
+				if avail[e.From] && !avail[e.To] {
+					avail[e.To] = true
+					changed = true
+				}
+			}
+		}
+		for _, e := range edges {
+			if !avail[e.From] {
+				out = append(out, violation{edge: e, source: s})
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks that the plan is executable: every pair is covered on
+// every edge of its path, raw transmissions are available at their tails,
+// and forbidden raw options are respected.
+func (p *Plan) Validate() error {
+	for _, e := range p.Inst.EdgeList {
+		sol, ok := p.Sol[e]
+		if !ok {
+			return fmt.Errorf("plan: edge %v has no solution", e)
+		}
+		for _, pr := range p.Inst.EdgePairs[e] {
+			if !sol.Raw[pr.Source] && !sol.Agg[pr.Dest] {
+				return fmt.Errorf("plan: pair %d→%d uncovered on edge %v", pr.Source, pr.Dest, e)
+			}
+		}
+		for s := range sol.Raw {
+			if sol.ForbiddenRaw[s] {
+				return fmt.Errorf("plan: forbidden raw %d transmitted on %v", s, e)
+			}
+		}
+	}
+	if vs := p.rawViolations(); len(vs) > 0 {
+		return fmt.Errorf("plan: raw value %d unavailable at tail of %v (and %d more)",
+			vs[0].source, vs[0].edge, len(vs)-1)
+	}
+	return nil
+}
+
+// UnitKind distinguishes the two message unit types of Section 3.
+type UnitKind int
+
+// Message unit kinds.
+const (
+	UnitRaw UnitKind = iota // raw value tagged with its source
+	UnitAgg                 // partial aggregate record tagged with its destination
+)
+
+// Unit is one message unit crossing one edge.
+type Unit struct {
+	Edge routing.Edge
+	Kind UnitKind
+	Node graph.NodeID // source ID for UnitRaw, destination ID for UnitAgg
+}
+
+// Bytes returns the unit's on-wire size under the instance's workload.
+func (p *Plan) Bytes(u Unit) int {
+	if u.Kind == UnitRaw {
+		return agg.RawUnitBytes
+	}
+	return agg.UnitBytes(p.Inst.SpecByDest[u.Node].Func)
+}
+
+// EdgeUnits lists the message units crossing e, raw units first, each
+// group ascending by node, matching the deterministic order used
+// throughout the executor.
+func (p *Plan) EdgeUnits(e routing.Edge) []Unit {
+	sol := p.Sol[e]
+	if sol == nil {
+		return nil
+	}
+	var units []Unit
+	for _, s := range sortedKeys(sol.Raw) {
+		units = append(units, Unit{Edge: e, Kind: UnitRaw, Node: s})
+	}
+	for _, d := range sortedKeys(sol.Agg) {
+		units = append(units, Unit{Edge: e, Kind: UnitAgg, Node: d})
+	}
+	return units
+}
+
+// Units lists every message unit of the plan in edge order.
+func (p *Plan) Units() []Unit {
+	var out []Unit
+	for _, e := range p.Inst.EdgeList {
+		out = append(out, p.EdgeUnits(e)...)
+	}
+	return out
+}
+
+// BodyBytes returns the total unit payload crossing e.
+func (p *Plan) BodyBytes(e routing.Edge) int {
+	total := 0
+	for _, u := range p.EdgeUnits(e) {
+		total += p.Bytes(u)
+	}
+	return total
+}
+
+// TotalBodyBytes sums unit payloads over all edges: the static cost the
+// per-edge optimization minimizes (excluding per-message headers, which
+// the simulator adds after merging).
+func (p *Plan) TotalBodyBytes() int {
+	total := 0
+	for _, e := range p.Inst.EdgeList {
+		total += p.BodyBytes(e)
+	}
+	return total
+}
+
+func sortedKeys(m map[graph.NodeID]bool) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,339 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+	"m2m/internal/routing"
+	"m2m/internal/topology"
+)
+
+// fig1cNetwork builds the paper's Figure 1(C) scenario:
+// sources a,b,c,d → relay i → relay j → destinations k,l,m with
+//
+//	f_k over {a,b,c,d}, f_l over {a,b,c}, f_m over {a}.
+//
+// Node IDs: a=0 b=1 c=2 d=3 i=4 j=5 k=6 l=7 m=8.
+func fig1cNetwork(t *testing.T) *Instance {
+	t.Helper()
+	g := graph.NewUndirected(9)
+	for _, s := range []graph.NodeID{0, 1, 2, 3} {
+		if err := g.AddEdge(s, 4, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(4, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []graph.NodeID{6, 7, 8} {
+		if err := g.AddEdge(5, d, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := func(ids ...graph.NodeID) map[graph.NodeID]float64 {
+		m := make(map[graph.NodeID]float64)
+		for _, id := range ids {
+			m[id] = 1 + float64(id)/10
+		}
+		return m
+	}
+	specs := []agg.Spec{
+		{Dest: 6, Func: agg.NewWeightedSum(w(0, 1, 2, 3))},
+		{Dest: 7, Func: agg.NewWeightedSum(w(0, 1, 2))},
+		{Dest: 8, Func: agg.NewWeightedSum(w(0))},
+	}
+	inst, err := NewInstance(g, routing.NewReversePath(g), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestPaperFigure1CPlan(t *testing.T) {
+	inst := fig1cNetwork(t)
+	p, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Repairs != 0 {
+		t.Errorf("Repairs = %d on a tree network", p.Repairs)
+	}
+	ij := routing.Edge{From: 4, To: 5}
+	sol := p.Sol[ij]
+	if sol == nil {
+		t.Fatal("no solution on edge i→j")
+	}
+	// The paper's optimal plan for i→j: raw a plus records for k and l.
+	if !sol.Raw[0] || len(sol.Raw) != 1 {
+		t.Errorf("Raw(i→j) = %v, want {a}", sol.Raw)
+	}
+	if !sol.Agg[6] || !sol.Agg[7] || sol.Agg[8] || len(sol.Agg) != 2 {
+		t.Errorf("Agg(i→j) = %v, want {k, l}", sol.Agg)
+	}
+	// Three message units on i→j, as in the figure.
+	if units := p.EdgeUnits(ij); len(units) != 3 {
+		t.Errorf("units on i→j = %v", units)
+	}
+}
+
+func TestInstanceValidation(t *testing.T) {
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	r := routing.NewReversePath(g)
+	wsum := func(ids ...graph.NodeID) agg.Func {
+		m := make(map[graph.NodeID]float64)
+		for _, id := range ids {
+			m[id] = 1
+		}
+		return agg.NewWeightedSum(m)
+	}
+	if _, err := NewInstance(g, r, []agg.Spec{{Dest: 2}}); err == nil {
+		t.Error("nil func accepted")
+	}
+	dup := []agg.Spec{
+		{Dest: 2, Func: wsum(0)},
+		{Dest: 2, Func: wsum(1)},
+	}
+	if _, err := NewInstance(g, r, dup); err == nil {
+		t.Error("duplicate destination accepted")
+	}
+	if _, err := NewInstance(g, r, []agg.Spec{{Dest: 9, Func: wsum(0)}}); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if _, err := NewInstance(g, r, []agg.Spec{{Dest: 2, Func: wsum(9)}}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}
+
+func TestInstanceEdgePairs(t *testing.T) {
+	inst := fig1cNetwork(t)
+	ij := routing.Edge{From: 4, To: 5}
+	pairs := inst.EdgePairs[ij]
+	// 4+3+1 = 8 pairs cross i→j.
+	if len(pairs) != 8 {
+		t.Fatalf("pairs on i→j = %v", pairs)
+	}
+	if got := inst.EdgeSources(ij); len(got) != 4 {
+		t.Errorf("S_e = %v", got)
+	}
+	if got := inst.EdgeDests(ij); len(got) != 3 {
+		t.Errorf("D_e = %v", got)
+	}
+	// No pairs on the reverse edge.
+	if len(inst.EdgePairs[routing.Edge{From: 5, To: 4}]) != 0 {
+		t.Error("phantom pairs on reverse edge")
+	}
+	if inst.PairEdgeIndex(Pair{Source: 0, Dest: 6}, ij) != 1 {
+		t.Error("PairEdgeIndex wrong")
+	}
+	if inst.PairEdgeIndex(Pair{Source: 0, Dest: 6}, routing.Edge{From: 9, To: 9}) != -1 {
+		t.Error("PairEdgeIndex of absent edge")
+	}
+}
+
+func TestTreeSizes(t *testing.T) {
+	inst := fig1cNetwork(t)
+	// T_a spans a,i,j,k,l,m = 6 nodes; A_k spans a,b,c,d,i,j,k = 7 nodes.
+	if got := inst.MulticastSize(0); got != 6 {
+		t.Errorf("|T_a| = %d, want 6", got)
+	}
+	if got := inst.AggTreeSize(6); got != 7 {
+		t.Errorf("|A_k| = %d, want 7", got)
+	}
+	if got := inst.Sources(); len(got) != 4 {
+		t.Errorf("Sources = %v", got)
+	}
+	if got := inst.Dests(); len(got) != 3 || got[0] != 6 {
+		t.Errorf("Dests = %v", got)
+	}
+}
+
+// randomInstance builds a random connected network with a random workload.
+func randomInstance(t testing.TB, rng *rand.Rand, n, nDests, nSrcsPer int, router func(*graph.Undirected) routing.Router) *Instance {
+	t.Helper()
+	l := topology.UniformRandom(n, topology.GreatDuckIsland().Area, rng.Int63())
+	l.EnsureConnected(50)
+	g := l.ConnectivityGraph(50)
+	perm := rng.Perm(n)
+	var specs []agg.Spec
+	for i := 0; i < nDests && i < n; i++ {
+		d := graph.NodeID(perm[i])
+		w := make(map[graph.NodeID]float64)
+		for len(w) < nSrcsPer {
+			s := graph.NodeID(rng.Intn(n))
+			w[s] = rng.Float64()*2 - 1
+		}
+		specs = append(specs, agg.Spec{Dest: d, Func: agg.NewWeightedSum(w)})
+	}
+	inst, err := NewInstance(g, router(g), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func sharedRouter(t testing.TB) func(*graph.Undirected) routing.Router {
+	return func(g *graph.Undirected) routing.Router {
+		st, err := routing.NewSharedTree(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+}
+
+func reverseRouter(g *graph.Undirected) routing.Router { return routing.NewReversePath(g) }
+
+func TestTheorem1NoRepairsUnderSharing(t *testing.T) {
+	// With the shared-tree router both routing restrictions hold, so the
+	// independently solved edges must assemble without any repair.
+	rng := rand.New(rand.NewSource(2007))
+	for trial := 0; trial < 15; trial++ {
+		inst := randomInstance(t, rng, 40, 6, 5, sharedRouter(t))
+		p, err := Optimize(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Repairs != 0 {
+			t.Fatalf("trial %d: Theorem 1 violated, %d repairs under shared-tree routing", trial, p.Repairs)
+		}
+	}
+}
+
+func TestOptimalBeatsBaselinesUnderSharing(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		inst := randomInstance(t, rng, 40, 8, 6, sharedRouter(t))
+		opt, err := Optimize(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, ag := Multicast(inst), AggregateASAP(inst)
+		if opt.TotalBodyBytes() > mc.TotalBodyBytes() {
+			t.Errorf("trial %d: optimal %d B > multicast %d B", trial, opt.TotalBodyBytes(), mc.TotalBodyBytes())
+		}
+		if opt.TotalBodyBytes() > ag.TotalBodyBytes() {
+			t.Errorf("trial %d: optimal %d B > aggregation %d B", trial, opt.TotalBodyBytes(), ag.TotalBodyBytes())
+		}
+	}
+}
+
+func TestAllMethodsValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 8; trial++ {
+		for _, mk := range []func(*Instance) *Plan{Multicast, AggregateASAP} {
+			inst := randomInstance(t, rng, 30, 5, 4, reverseRouter)
+			p := mk(inst)
+			if err := p.Validate(); err != nil {
+				t.Fatalf("trial %d: %s invalid: %v", trial, p.Method, err)
+			}
+		}
+		inst := randomInstance(t, rng, 30, 5, 4, reverseRouter)
+		p, err := Optimize(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: optimal invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestOptimalNotWorseThanAggregationEver(t *testing.T) {
+	// Even when repairs fire (reverse-path router), every constrained
+	// per-edge cover is still no worse than the all-destinations cover,
+	// so globally optimal ≤ aggregation.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		inst := randomInstance(t, rng, 50, 10, 8, reverseRouter)
+		opt, err := Optimize(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ag := AggregateASAP(inst); opt.TotalBodyBytes() > ag.TotalBodyBytes() {
+			t.Errorf("trial %d: optimal %d B > aggregation %d B (repairs=%d)",
+				trial, opt.TotalBodyBytes(), ag.TotalBodyBytes(), opt.Repairs)
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(8))
+	rng2 := rand.New(rand.NewSource(8))
+	a := randomInstance(t, rng1, 35, 6, 5, reverseRouter)
+	b := randomInstance(t, rng2, 35, 6, 5, reverseRouter)
+	pa, err := Optimize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Optimize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.TotalBodyBytes() != pb.TotalBodyBytes() {
+		t.Fatal("nondeterministic plan cost")
+	}
+	for e, sa := range pa.Sol {
+		if !sameSolution(sa, pb.Sol[e]) {
+			t.Fatalf("nondeterministic solution on %v", e)
+		}
+	}
+}
+
+func TestUnitsAndBytes(t *testing.T) {
+	inst := fig1cNetwork(t)
+	p, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ij := routing.Edge{From: 4, To: 5}
+	units := p.EdgeUnits(ij)
+	if len(units) != 3 {
+		t.Fatalf("units = %v", units)
+	}
+	if units[0].Kind != UnitRaw || units[0].Node != 0 {
+		t.Errorf("first unit = %v, want raw a", units[0])
+	}
+	// Weighted sum: every unit is RawUnitBytes on the wire.
+	if got := p.BodyBytes(ij); got != 3*agg.RawUnitBytes {
+		t.Errorf("BodyBytes(i→j) = %d", got)
+	}
+	if p.TotalBodyBytes() <= 0 {
+		t.Error("TotalBodyBytes not positive")
+	}
+	if len(p.Units()) == 0 {
+		t.Error("Units empty")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	inst := fig1cNetwork(t)
+	p, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ij := routing.Edge{From: 4, To: 5}
+	// Remove the raw transmission of a without covering its pairs.
+	delete(p.Sol[ij].Raw, 0)
+	if err := p.Validate(); err == nil {
+		t.Error("uncovered pair not detected")
+	}
+	// Restore coverage but break availability: claim a travels raw on j→k
+	// while every upstream edge aggregates it.
+	p2, err := Optimize(fig1cNetwork(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range p2.Inst.EdgeList {
+		delete(p2.Sol[e].Raw, 0)
+		p2.Sol[e].Agg[6] = true
+		p2.Sol[e].Agg[8] = true
+	}
+	p2.Sol[routing.Edge{From: 5, To: 8}].Raw[0] = true
+	if err := p2.Validate(); err == nil {
+		t.Error("unavailable raw not detected")
+	}
+}

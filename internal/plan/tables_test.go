@@ -1,0 +1,198 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2m/internal/graph"
+)
+
+func TestTablesFigure1C(t *testing.T) {
+	inst := fig1cNetwork(t)
+	p, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := p.BuildTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node i (4) forwards a raw and creates records for k and l.
+	if len(tab.Raw[4]) != 1 || tab.Raw[4][0].Source != 0 {
+		t.Errorf("Raw[i] = %v", tab.Raw[4])
+	}
+	var kEntry, lEntry *PartialEntry
+	for i := range tab.Partial[4] {
+		e := &tab.Partial[4][i]
+		switch e.Dest {
+		case 6:
+			kEntry = e
+		case 7:
+			lEntry = e
+		}
+	}
+	if kEntry == nil || lEntry == nil {
+		t.Fatalf("Partial[i] = %v", tab.Partial[4])
+	}
+	// k's record at i merges pre-aggregated a,b,c,d = 4 inputs;
+	// l's merges a,b,c = 3 inputs.
+	if kEntry.Inputs != 4 || lEntry.Inputs != 3 {
+		t.Errorf("k inputs = %d, l inputs = %d", kEntry.Inputs, lEntry.Inputs)
+	}
+	// i pre-aggregates a,b,c,d for k and a,b,c for l: 7 entries.
+	if len(tab.PreAgg[4]) != 7 {
+		t.Errorf("PreAgg[i] = %v", tab.PreAgg[4])
+	}
+	// i sends one message group (edge i→j) carrying 3 units.
+	if len(tab.Outgoing[4]) != 1 || tab.Outgoing[4][0].Units != 3 {
+		t.Errorf("Outgoing[i] = %v", tab.Outgoing[4])
+	}
+	// Destination m (8) receives a raw and pre-aggregates it locally.
+	var mLocal *PartialEntry
+	for i := range tab.Partial[8] {
+		if tab.Partial[8][i].Local {
+			mLocal = &tab.Partial[8][i]
+		}
+	}
+	if mLocal == nil || mLocal.Inputs != 1 {
+		t.Errorf("Partial[m] = %v", tab.Partial[8])
+	}
+	if len(tab.PreAgg[8]) != 1 || tab.PreAgg[8][0].Source != 0 {
+		t.Errorf("PreAgg[m] = %v", tab.PreAgg[8])
+	}
+	// Destinations k and l receive ready records: one local entry with one
+	// input, no pre-aggregation.
+	for _, d := range []graph.NodeID{6, 7} {
+		entries := tab.Partial[d]
+		if len(entries) != 1 || !entries[0].Local || entries[0].Inputs != 1 {
+			t.Errorf("Partial[%d] = %v", d, entries)
+		}
+		if len(tab.PreAgg[d]) != 0 {
+			t.Errorf("PreAgg[%d] = %v", d, tab.PreAgg[d])
+		}
+	}
+}
+
+func TestStateBoundTheorem3(t *testing.T) {
+	// Total optimal-plan state must be within a constant factor of
+	// min(Σ|T_s|, Σ|A_d|).
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 8; trial++ {
+		inst := randomInstance(t, rng, 45, 8, 6, sharedRouter(t))
+		p, err := Optimize(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := p.BuildTables()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumT, sumA := 0, 0
+		for _, s := range inst.Sources() {
+			sumT += inst.MulticastSize(s)
+		}
+		for _, d := range inst.Dests() {
+			sumA += inst.AggTreeSize(d)
+		}
+		bound := sumT
+		if sumA < bound {
+			bound = sumA
+		}
+		if got := tab.TotalEntries(); got > 4*bound {
+			t.Errorf("trial %d: state %d entries exceeds 4·min(Σ|T_s|=%d, Σ|A_d|=%d)",
+				trial, got, sumT, sumA)
+		}
+		if tab.StateBytes() <= 0 {
+			t.Error("StateBytes not positive")
+		}
+	}
+}
+
+func TestStateOptimalAtMostBaselines(t *testing.T) {
+	// The paper's Theorem 3 intuition: optimal-plan state is on the order
+	// of the cheaper of the two pure approaches. Check a generous factor.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		inst := randomInstance(t, rng, 40, 6, 6, sharedRouter(t))
+		opt, err := Optimize(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optTab, err := opt.BuildTables()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcTab, err := Multicast(inst).BuildTables()
+		if err != nil {
+			t.Fatal(err)
+		}
+		agTab, err := AggregateASAP(inst).BuildTables()
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := mcTab.TotalEntries()
+		if agTab.TotalEntries() < min {
+			min = agTab.TotalEntries()
+		}
+		if got := optTab.TotalEntries(); got > 2*min {
+			t.Errorf("trial %d: optimal state %d > 2·min(baseline state %d)", trial, got, min)
+		}
+	}
+}
+
+func TestTablesInputsPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	inst := randomInstance(t, rng, 30, 5, 5, reverseRouter)
+	for _, mk := range []func() (*Plan, error){
+		func() (*Plan, error) { return Optimize(inst) },
+		func() (*Plan, error) { return Multicast(inst), nil },
+		func() (*Plan, error) { return AggregateASAP(inst), nil },
+	} {
+		p, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := p.BuildTables()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n, entries := range tab.Partial {
+			for _, e := range entries {
+				if e.Inputs <= 0 {
+					t.Errorf("%s: node %d has partial entry with %d inputs", p.Method, n, e.Inputs)
+				}
+			}
+		}
+		// Every destination must have exactly one local partial entry.
+		for _, d := range inst.Dests() {
+			locals := 0
+			for _, e := range tab.Partial[d] {
+				if e.Local {
+					locals++
+				}
+			}
+			if locals != 1 {
+				t.Errorf("%s: destination %d has %d local entries", p.Method, d, locals)
+			}
+		}
+	}
+}
+
+func TestNodeEntriesSumsToTotal(t *testing.T) {
+	inst := fig1cNetwork(t)
+	p, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := p.BuildTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for n := 0; n < inst.Net.Len(); n++ {
+		sum += tab.NodeEntries(graph.NodeID(n))
+	}
+	if sum != tab.TotalEntries() {
+		t.Errorf("per-node sum %d != total %d", sum, tab.TotalEntries())
+	}
+}

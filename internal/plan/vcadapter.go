@@ -1,0 +1,25 @@
+package plan
+
+import "m2m/internal/vcover"
+
+// vcoverProblem is a thin builder around vcover.Problem keeping solveEdge
+// readable.
+type vcoverProblem struct {
+	p vcover.Problem
+}
+
+func (w *vcoverProblem) addU(key int, weight int64) {
+	w.p.U = append(w.p.U, vcover.Vertex{Key: key, Weight: weight})
+}
+
+func (w *vcoverProblem) addV(key int, weight int64) {
+	w.p.V = append(w.p.V, vcover.Vertex{Key: key, Weight: weight})
+}
+
+func (w *vcoverProblem) addEdge(i, j int) {
+	w.p.Edges = append(w.p.Edges, [2]int{i, j})
+}
+
+func (w *vcoverProblem) solve(forbidU []bool) (*vcover.Solution, error) {
+	return vcover.SolveConstrained(&w.p, forbidU)
+}

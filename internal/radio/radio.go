@@ -1,0 +1,143 @@
+// Package radio models the communication hardware of a Mica2-class mote:
+// per-byte transmit/receive energy, fixed per-message header overhead, and
+// the radio range that induces network connectivity.
+//
+// The constants are derived from the Chipcon CC1000 radio used by the Mica2
+// (the paper's platform): TX draw ≈ 27 mA and RX draw ≈ 10 mA at 3 V with a
+// 38.4 kbaud Manchester-coded link, i.e. one byte occupies 8/38400 s
+// ≈ 208 µs on air. That yields ≈ 16.9 µJ per transmitted byte and
+// ≈ 6.3 µJ per received byte. The paper does not publish its exact
+// constants; because all compared algorithms share the same model, the
+// relative results (orderings, crossovers) do not depend on them.
+package radio
+
+import "fmt"
+
+// Mica2-derived defaults. See the package comment for the derivation.
+const (
+	// DefaultRangeMeters is the radio range used throughout the paper's
+	// evaluation (Section 4).
+	DefaultRangeMeters = 50.0
+
+	// DefaultHeaderBytes is the fixed per-message overhead: preamble, sync,
+	// addressing, length, and CRC of a TinyOS-style packet.
+	DefaultHeaderBytes = 9
+
+	// DefaultTxJoulesPerByte is the energy to transmit one byte.
+	DefaultTxJoulesPerByte = 16.9e-6
+
+	// DefaultRxJoulesPerByte is the energy to receive one byte.
+	DefaultRxJoulesPerByte = 6.3e-6
+)
+
+// Model captures the energy accounting of the radio. All costs are in
+// joules; helpers report millijoules where that matches the paper's plots.
+type Model struct {
+	RangeMeters     float64
+	HeaderBytes     int
+	TxJoulesPerByte float64
+	RxJoulesPerByte float64
+}
+
+// DefaultModel returns the Mica2-derived model used by the experiments.
+func DefaultModel() Model {
+	return Model{
+		RangeMeters:     DefaultRangeMeters,
+		HeaderBytes:     DefaultHeaderBytes,
+		TxJoulesPerByte: DefaultTxJoulesPerByte,
+		RxJoulesPerByte: DefaultRxJoulesPerByte,
+	}
+}
+
+// Validate reports whether the model's parameters are physically sensible.
+func (m Model) Validate() error {
+	if m.RangeMeters <= 0 {
+		return fmt.Errorf("radio: non-positive range %v", m.RangeMeters)
+	}
+	if m.HeaderBytes < 0 {
+		return fmt.Errorf("radio: negative header size %d", m.HeaderBytes)
+	}
+	if m.TxJoulesPerByte <= 0 || m.RxJoulesPerByte <= 0 {
+		return fmt.Errorf("radio: non-positive per-byte energy (tx=%v, rx=%v)",
+			m.TxJoulesPerByte, m.RxJoulesPerByte)
+	}
+	return nil
+}
+
+// MessageBytes returns the on-air size of a message with the given body.
+func (m Model) MessageBytes(bodyBytes int) int {
+	if bodyBytes < 0 {
+		panic("radio: negative body size")
+	}
+	return m.HeaderBytes + bodyBytes
+}
+
+// UnicastJoules returns the total energy of one point-to-point message:
+// the sender pays TX and the single recipient pays RX.
+func (m Model) UnicastJoules(bodyBytes int) float64 {
+	b := float64(m.MessageBytes(bodyBytes))
+	return b * (m.TxJoulesPerByte + m.RxJoulesPerByte)
+}
+
+// BroadcastJoules returns the total energy of one local broadcast heard by
+// the given number of neighbors: the sender pays TX once and every
+// neighbor pays RX.
+func (m Model) BroadcastJoules(bodyBytes, listeners int) float64 {
+	if listeners < 0 {
+		panic("radio: negative listener count")
+	}
+	b := float64(m.MessageBytes(bodyBytes))
+	return b*m.TxJoulesPerByte + b*m.RxJoulesPerByte*float64(listeners)
+}
+
+// TxJoules returns the sender-side energy of one message.
+func (m Model) TxJoules(bodyBytes int) float64 {
+	return float64(m.MessageBytes(bodyBytes)) * m.TxJoulesPerByte
+}
+
+// RxJoules returns the receiver-side energy of one message.
+func (m Model) RxJoules(bodyBytes int) float64 {
+	return float64(m.MessageBytes(bodyBytes)) * m.RxJoulesPerByte
+}
+
+// Millijoules converts joules to millijoules (the unit of the paper's
+// "Avg. Round Energy" axes).
+func Millijoules(j float64) float64 { return j * 1e3 }
+
+// IdleListenJoules returns the energy a node spends keeping its receiver
+// on for the airtime of the given number of bytes without receiving
+// anything useful — idle listening, the dominant energy sink of
+// unscheduled sensor radios. The CC1000 draws RX current whether or not a
+// packet arrives, so this equals the RX cost of the same airtime.
+func (m Model) IdleListenJoules(slotBytes int) float64 {
+	if slotBytes < 0 {
+		panic("radio: negative slot size")
+	}
+	return float64(slotBytes) * m.RxJoulesPerByte
+}
+
+// LossForDistance models link quality degradation with distance: links
+// shorter than half the radio range are reliable, then the loss
+// probability rises quadratically to maxLoss at full range — the standard
+// packet-reception-rate "gray zone" shape. The result is clamped to
+// [0, maxLoss].
+func LossForDistance(dist, rangeMeters, maxLoss float64) float64 {
+	if rangeMeters <= 0 || maxLoss <= 0 || dist <= rangeMeters/2 {
+		return 0
+	}
+	frac := (dist/rangeMeters - 0.5) / 0.5
+	if frac > 1 {
+		frac = 1
+	}
+	return maxLoss * frac * frac
+}
+
+// ARQFactor returns the expected number of transmissions needed to get
+// one message across a link with the given loss probability, under
+// stop-and-wait retransmission. Loss must be in [0, 1).
+func ARQFactor(loss float64) (float64, error) {
+	if loss < 0 || loss >= 1 {
+		return 0, fmt.Errorf("radio: loss probability %v outside [0,1)", loss)
+	}
+	return 1 / (1 - loss), nil
+}

@@ -1,0 +1,160 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []Model{
+		{RangeMeters: 0, HeaderBytes: 9, TxJoulesPerByte: 1, RxJoulesPerByte: 1},
+		{RangeMeters: 50, HeaderBytes: -1, TxJoulesPerByte: 1, RxJoulesPerByte: 1},
+		{RangeMeters: 50, HeaderBytes: 9, TxJoulesPerByte: 0, RxJoulesPerByte: 1},
+		{RangeMeters: 50, HeaderBytes: 9, TxJoulesPerByte: 1, RxJoulesPerByte: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestMessageBytes(t *testing.T) {
+	m := DefaultModel()
+	if got := m.MessageBytes(0); got != DefaultHeaderBytes {
+		t.Errorf("empty body message = %d bytes", got)
+	}
+	if got := m.MessageBytes(20); got != DefaultHeaderBytes+20 {
+		t.Errorf("20-byte body message = %d bytes", got)
+	}
+}
+
+func TestUnicastSplitsIntoTxRx(t *testing.T) {
+	m := DefaultModel()
+	f := func(body uint8) bool {
+		b := int(body)
+		return math.Abs(m.UnicastJoules(b)-(m.TxJoules(b)+m.RxJoules(b))) < 1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBroadcastScalesWithListeners(t *testing.T) {
+	m := DefaultModel()
+	b0 := m.BroadcastJoules(10, 0)
+	if math.Abs(b0-m.TxJoules(10)) > 1e-15 {
+		t.Errorf("broadcast with 0 listeners = %v, want tx only %v", b0, m.TxJoules(10))
+	}
+	b1 := m.BroadcastJoules(10, 1)
+	if math.Abs(b1-m.UnicastJoules(10)) > 1e-15 {
+		t.Errorf("broadcast with 1 listener = %v, want unicast %v", b1, m.UnicastJoules(10))
+	}
+	// Each extra listener adds exactly one RX.
+	for k := 2; k < 10; k++ {
+		got := m.BroadcastJoules(10, k) - m.BroadcastJoules(10, k-1)
+		if math.Abs(got-m.RxJoules(10)) > 1e-15 {
+			t.Fatalf("listener %d marginal cost = %v, want %v", k, got, m.RxJoules(10))
+		}
+	}
+}
+
+func TestEnergyMonotoneInBody(t *testing.T) {
+	m := DefaultModel()
+	for b := 1; b < 100; b++ {
+		if m.UnicastJoules(b) <= m.UnicastJoules(b-1) {
+			t.Fatalf("unicast energy not increasing at body=%d", b)
+		}
+	}
+}
+
+func TestBroadcastCheaperThanUnicastsForManyListeners(t *testing.T) {
+	// One broadcast to k listeners must beat k unicasts for k >= 2 whenever
+	// TX dominates: total = tx + k*rx vs k*(tx+rx).
+	m := DefaultModel()
+	for k := 2; k < 20; k++ {
+		if m.BroadcastJoules(15, k) >= float64(k)*m.UnicastJoules(15) {
+			t.Fatalf("broadcast to %d listeners not cheaper than %d unicasts", k, k)
+		}
+	}
+}
+
+func TestPanicsOnNegativeInputs(t *testing.T) {
+	m := DefaultModel()
+	assertPanics(t, "negative body", func() { m.MessageBytes(-1) })
+	assertPanics(t, "negative listeners", func() { m.BroadcastJoules(1, -1) })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+func TestMillijoules(t *testing.T) {
+	if got := Millijoules(0.5); got != 500 {
+		t.Errorf("Millijoules(0.5) = %v", got)
+	}
+}
+
+func TestIdleListenJoules(t *testing.T) {
+	m := DefaultModel()
+	if got := m.IdleListenJoules(0); got != 0 {
+		t.Errorf("idle(0) = %v", got)
+	}
+	// Idle listening for N bytes of airtime costs exactly the RX energy of
+	// N bytes — the receiver draws the same current either way.
+	if got, want := m.IdleListenJoules(100), 100*m.RxJoulesPerByte; math.Abs(got-want) > 1e-15 {
+		t.Errorf("idle(100) = %v, want %v", got, want)
+	}
+	assertPanics(t, "negative slot", func() { m.IdleListenJoules(-1) })
+}
+
+func TestLossForDistanceMonotone(t *testing.T) {
+	const r, maxLoss = 50.0, 0.4
+	prev := -1.0
+	for d := 0.0; d <= 60; d += 2.5 {
+		loss := LossForDistance(d, r, maxLoss)
+		if loss < prev {
+			t.Fatalf("loss not monotone at d=%v: %v < %v", d, loss, prev)
+		}
+		if loss < 0 || loss > maxLoss {
+			t.Fatalf("loss %v outside [0, %v]", loss, maxLoss)
+		}
+		prev = loss
+	}
+	if LossForDistance(20, r, maxLoss) != 0 {
+		t.Error("short link lossy")
+	}
+	if got := LossForDistance(50, r, maxLoss); math.Abs(got-maxLoss) > 1e-12 {
+		t.Errorf("full-range loss = %v", got)
+	}
+	if LossForDistance(30, r, 0) != 0 {
+		t.Error("maxLoss 0 produced loss")
+	}
+}
+
+func TestARQFactorBounds(t *testing.T) {
+	for _, c := range []struct{ loss, want float64 }{{0, 1}, {0.5, 2}, {0.9, 10}} {
+		f, err := ARQFactor(c.loss)
+		if err != nil || math.Abs(f-c.want) > 1e-9 {
+			t.Errorf("ARQ(%v) = %v, %v; want %v", c.loss, f, err, c.want)
+		}
+	}
+	for _, bad := range []float64{-0.01, 1, 1.5} {
+		if _, err := ARQFactor(bad); err == nil {
+			t.Errorf("ARQ(%v) accepted", bad)
+		}
+	}
+}

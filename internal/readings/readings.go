@@ -1,0 +1,170 @@
+// Package readings generates multi-round sensor signals for driving
+// simulations: diurnal cycles (the sap-flux scenario), random walks,
+// sparse pulse processes (the suppression experiments' change model), and
+// constants. Generators are deterministic for a given seed.
+package readings
+
+import (
+	"math"
+	"math/rand"
+
+	"m2m/internal/graph"
+)
+
+// Generator produces one reading per node per round.
+type Generator interface {
+	// Next returns every node's reading for the next round.
+	Next() map[graph.NodeID]float64
+}
+
+// Deltas returns the per-node change between two rounds, suppressing
+// changes with magnitude at or below threshold — the input expected by
+// sim.Suppressor.Round.
+func Deltas(prev, cur map[graph.NodeID]float64, threshold float64) map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64)
+	for n, v := range cur {
+		if d := v - prev[n]; math.Abs(d) > threshold {
+			out[n] = d
+		}
+	}
+	return out
+}
+
+// Constant yields the same reading for every node forever.
+type Constant struct {
+	n     int
+	value float64
+}
+
+// NewConstant returns a constant generator over n nodes.
+func NewConstant(n int, value float64) *Constant { return &Constant{n: n, value: value} }
+
+// Next implements Generator.
+func (c *Constant) Next() map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		out[graph.NodeID(i)] = c.value
+	}
+	return out
+}
+
+// RandomWalk evolves each node's reading by an independent Gaussian step
+// per round.
+type RandomWalk struct {
+	rng   *rand.Rand
+	state map[graph.NodeID]float64
+	step  float64
+}
+
+// NewRandomWalk returns a walk over n nodes starting at start with the
+// given per-round step deviation.
+func NewRandomWalk(n int, seed int64, start, step float64) *RandomWalk {
+	w := &RandomWalk{
+		rng:   rand.New(rand.NewSource(seed)),
+		state: make(map[graph.NodeID]float64, n),
+		step:  step,
+	}
+	for i := 0; i < n; i++ {
+		w.state[graph.NodeID(i)] = start
+	}
+	return w
+}
+
+// Next implements Generator.
+func (w *RandomWalk) Next() map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64, len(w.state))
+	for i := 0; i < len(w.state); i++ {
+		id := graph.NodeID(i)
+		w.state[id] += w.rng.NormFloat64() * w.step
+		out[id] = w.state[id]
+	}
+	return out
+}
+
+// Diurnal models a day/night cycle: a sinusoid with per-node phase jitter
+// plus observation noise. Values peak mid-period ("noon").
+type Diurnal struct {
+	rng    *rand.Rand
+	phase  map[graph.NodeID]float64
+	n      int
+	period int
+	round  int
+	base   float64
+	amp    float64
+	noise  float64
+}
+
+// NewDiurnal returns a cycle over n nodes: reading = base +
+// amp·max(0, sin(2π·round/period + phase)) + noise.
+func NewDiurnal(n int, seed int64, period int, base, amp, noise float64) *Diurnal {
+	if period <= 0 {
+		panic("readings: non-positive period")
+	}
+	d := &Diurnal{
+		rng:    rand.New(rand.NewSource(seed)),
+		phase:  make(map[graph.NodeID]float64, n),
+		n:      n,
+		period: period,
+		base:   base,
+		amp:    amp,
+		noise:  noise,
+	}
+	for i := 0; i < n; i++ {
+		d.phase[graph.NodeID(i)] = d.rng.Float64() * 0.2
+	}
+	return d
+}
+
+// Next implements Generator.
+func (d *Diurnal) Next() map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64, d.n)
+	for i := 0; i < d.n; i++ {
+		id := graph.NodeID(i)
+		s := math.Sin(2*math.Pi*float64(d.round)/float64(d.period) + d.phase[id])
+		v := d.base + d.amp*math.Max(0, s) + d.rng.NormFloat64()*d.noise
+		out[id] = v
+	}
+	d.round++
+	return out
+}
+
+// Pulse changes each node's reading with a fixed per-round probability
+// (by a Gaussian jump), otherwise holding it — the change model of the
+// paper's suppression experiment (Figure 7).
+type Pulse struct {
+	rng   *rand.Rand
+	state map[graph.NodeID]float64
+	prob  float64
+	mag   float64
+}
+
+// NewPulse returns a pulse process over n nodes with the given change
+// probability and jump deviation.
+func NewPulse(n int, seed int64, prob, magnitude float64) *Pulse {
+	if prob < 0 || prob > 1 {
+		panic("readings: change probability outside [0,1]")
+	}
+	p := &Pulse{
+		rng:   rand.New(rand.NewSource(seed)),
+		state: make(map[graph.NodeID]float64, n),
+		prob:  prob,
+		mag:   magnitude,
+	}
+	for i := 0; i < n; i++ {
+		p.state[graph.NodeID(i)] = 0
+	}
+	return p
+}
+
+// Next implements Generator.
+func (p *Pulse) Next() map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64, len(p.state))
+	for i := 0; i < len(p.state); i++ {
+		id := graph.NodeID(i)
+		if p.rng.Float64() < p.prob {
+			p.state[id] += p.rng.NormFloat64() * p.mag
+		}
+		out[id] = p.state[id]
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package readings
+
+import (
+	"math"
+	"testing"
+
+	"m2m/internal/graph"
+)
+
+func TestConstant(t *testing.T) {
+	g := NewConstant(5, 3.5)
+	for round := 0; round < 3; round++ {
+		vals := g.Next()
+		if len(vals) != 5 {
+			t.Fatalf("got %d values", len(vals))
+		}
+		for _, v := range vals {
+			if v != 3.5 {
+				t.Fatalf("value = %v", v)
+			}
+		}
+	}
+}
+
+func TestDeltasThreshold(t *testing.T) {
+	prev := map[graph.NodeID]float64{0: 1, 1: 2, 2: 3}
+	cur := map[graph.NodeID]float64{0: 1.005, 1: 2.5, 2: 3}
+	d := Deltas(prev, cur, 0.01)
+	if len(d) != 1 {
+		t.Fatalf("deltas = %v", d)
+	}
+	if math.Abs(d[1]-0.5) > 1e-12 {
+		t.Errorf("delta = %v", d[1])
+	}
+}
+
+func TestRandomWalkDeterministicAndMoving(t *testing.T) {
+	a := NewRandomWalk(10, 7, 100, 1)
+	b := NewRandomWalk(10, 7, 100, 1)
+	moved := false
+	for round := 0; round < 5; round++ {
+		va, vb := a.Next(), b.Next()
+		for n := range va {
+			if va[n] != vb[n] {
+				t.Fatal("same seed diverged")
+			}
+			if va[n] != 100 {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Error("walk never moved")
+	}
+}
+
+func TestDiurnalCycle(t *testing.T) {
+	d := NewDiurnal(4, 1, 24, 10, 5, 0)
+	var noon, midnight float64
+	for round := 0; round < 24; round++ {
+		vals := d.Next()
+		switch round {
+		case 6: // quarter period: sin peak
+			noon = vals[0]
+		case 18: // three-quarter: sin negative, clamped to base
+			midnight = vals[0]
+		}
+	}
+	if noon <= midnight {
+		t.Errorf("noon %v not above midnight %v", noon, midnight)
+	}
+	if math.Abs(midnight-10) > 1e-9 {
+		t.Errorf("midnight = %v, want base 10", midnight)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive period accepted")
+		}
+	}()
+	NewDiurnal(1, 1, 0, 0, 0, 0)
+}
+
+func TestPulseChangeRate(t *testing.T) {
+	p := NewPulse(200, 3, 0.1, 1)
+	prev := p.Next()
+	changes := 0
+	rounds := 50
+	for r := 0; r < rounds; r++ {
+		cur := p.Next()
+		changes += len(Deltas(prev, cur, 0))
+		prev = cur
+	}
+	rate := float64(changes) / float64(rounds*200)
+	if rate < 0.05 || rate > 0.15 {
+		t.Errorf("observed change rate %v, want ≈ 0.1", rate)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad probability accepted")
+		}
+	}()
+	NewPulse(1, 1, 1.5, 1)
+}
+
+func TestPulseZeroProbNeverChanges(t *testing.T) {
+	p := NewPulse(20, 5, 0, 1)
+	prev := p.Next()
+	for r := 0; r < 5; r++ {
+		cur := p.Next()
+		if len(Deltas(prev, cur, 0)) != 0 {
+			t.Fatal("p=0 produced changes")
+		}
+		prev = cur
+	}
+}

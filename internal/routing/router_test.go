@@ -1,0 +1,151 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2m/internal/graph"
+	"m2m/internal/topology"
+)
+
+func TestReversePathSimple(t *testing.T) {
+	g := lineGraph(5)
+	r := NewReversePath(g)
+	p, err := r.Path(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 5 || p[0] != 0 || p[4] != 4 {
+		t.Errorf("path = %v", p)
+	}
+	self, err := r.Path(3, 3)
+	if err != nil || len(self) != 1 || self[0] != 3 {
+		t.Errorf("self path = %v, %v", self, err)
+	}
+}
+
+func TestReversePathErrors(t *testing.T) {
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1, 1)
+	r := NewReversePath(g)
+	if _, err := r.Path(0, 2); err == nil {
+		t.Error("unreachable pair accepted")
+	}
+	if _, err := r.Path(0, 5); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := r.Path(-1, 0); err == nil {
+		t.Error("negative node accepted")
+	}
+}
+
+func TestReversePathSuffixProperty(t *testing.T) {
+	l := topology.GreatDuckIsland()
+	g := l.ConnectivityGraph(50)
+	r := NewReversePath(g)
+	rng := rand.New(rand.NewSource(9))
+	byDest := make(map[graph.NodeID][][]graph.NodeID)
+	for trial := 0; trial < 400; trial++ {
+		s := graph.NodeID(rng.Intn(g.Len()))
+		d := graph.NodeID(rng.Intn(g.Len()))
+		p, err := r.Path(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byDest[d] = append(byDest[d], p)
+	}
+	if err := CheckSuffixProperty(byDest); err != nil {
+		t.Errorf("reverse-path violated suffix property: %v", err)
+	}
+}
+
+func TestSharedTreeRouterSuffixProperty(t *testing.T) {
+	l := topology.GreatDuckIsland()
+	g := l.ConnectivityGraph(50)
+	st, err := NewSharedTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	byDest := make(map[graph.NodeID][][]graph.NodeID)
+	for trial := 0; trial < 400; trial++ {
+		s := graph.NodeID(rng.Intn(g.Len()))
+		d := graph.NodeID(rng.Intn(g.Len()))
+		p, err := st.Path(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p[0] != s || p[len(p)-1] != d {
+			t.Fatalf("endpoints wrong: %v", p)
+		}
+		byDest[d] = append(byDest[d], p)
+	}
+	if err := CheckSuffixProperty(byDest); err != nil {
+		t.Errorf("shared-tree violated suffix property: %v", err)
+	}
+}
+
+func TestSharedTreePathsAreSymmetricReversals(t *testing.T) {
+	// In a tree, the s→d path is the reverse of the d→s path.
+	l := topology.GreatDuckIsland()
+	g := l.ConnectivityGraph(50)
+	st, err := NewSharedTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := graph.NodeID(0); s < 10; s++ {
+		for d := graph.NodeID(20); d < 30; d++ {
+			a, err := st.Path(s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := st.Path(d, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("asymmetric lengths for %d↔%d", s, d)
+			}
+			for i := range a {
+				if a[i] != b[len(b)-1-i] {
+					t.Fatalf("path %d→%d not the reverse of %d→%d", s, d, d, s)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckSuffixPropertyDetectsViolation(t *testing.T) {
+	byDest := map[graph.NodeID][][]graph.NodeID{
+		5: {
+			{1, 2, 5},
+			{3, 2, 4, 5}, // node 2 goes to 4 here but 5 above
+		},
+	}
+	if err := CheckSuffixProperty(byDest); err == nil {
+		t.Error("divergent suffixes accepted")
+	}
+	bad := map[graph.NodeID][][]graph.NodeID{5: {{1, 2}}}
+	if err := CheckSuffixProperty(bad); err == nil {
+		t.Error("path not ending at destination accepted")
+	}
+}
+
+func TestReversePathsAreShortest(t *testing.T) {
+	l := topology.GreatDuckIsland()
+	g := l.ConnectivityGraph(50)
+	r := NewReversePath(g)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		s := graph.NodeID(rng.Intn(g.Len()))
+		d := graph.NodeID(rng.Intn(g.Len()))
+		p, err := r.Path(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.BFS(s).Hops(d)
+		if len(p)-1 != want {
+			t.Fatalf("path %d→%d has %d hops, shortest is %d", s, d, len(p)-1, want)
+		}
+	}
+}

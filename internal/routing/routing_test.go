@@ -1,0 +1,378 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2m/internal/graph"
+	"m2m/internal/topology"
+)
+
+// lineGraph builds 0-1-2-...-(n-1).
+func lineGraph(n int) *graph.Undirected {
+	g := graph.NewUndirected(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	return g
+}
+
+func TestSPTLine(t *testing.T) {
+	g := lineGraph(5)
+	tr, err := SPT{Hops: true}.Build(g, 0, []graph.NodeID{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	path := tr.PathTo(4)
+	if len(path) != 5 {
+		t.Fatalf("path = %v", path)
+	}
+	for i, n := range path {
+		if n != graph.NodeID(i) {
+			t.Fatalf("path = %v", path)
+		}
+	}
+	if tr.Size() != 5 {
+		t.Errorf("Size = %d", tr.Size())
+	}
+}
+
+func TestSPTBranching(t *testing.T) {
+	//      1 - 3
+	// 0 <
+	//      2 - 4
+	g := graph.NewUndirected(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 4, 1)
+	tr, err := SPT{Hops: true}.Build(g, 0, []graph.NodeID{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	kids := tr.Children(0)
+	if len(kids) != 2 || kids[0] != 1 || kids[1] != 2 {
+		t.Errorf("Children(0) = %v", kids)
+	}
+	if got := tr.Edges(); len(got) != 4 {
+		t.Errorf("Edges = %v", got)
+	}
+}
+
+func TestSPTUnreachableDest(t *testing.T) {
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1, 1)
+	if _, err := (SPT{Hops: true}).Build(g, 0, []graph.NodeID{2}); err == nil {
+		t.Error("unreachable destination accepted")
+	}
+}
+
+func TestTreeMinimalityAllLeavesAreDests(t *testing.T) {
+	g := lineGraph(6)
+	tr, err := SPT{Hops: true}.Build(g, 0, []graph.NodeID{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree must stop at node 3; nodes 4, 5 are not included.
+	if tr.Contains(4) || tr.Contains(5) {
+		t.Error("tree extends past its last destination")
+	}
+	// Corrupt the tree with a dangling non-destination leaf: Validate must
+	// reject it as a minimality violation.
+	tr.Parent[4] = 3
+	if err := tr.Validate(); err == nil {
+		t.Error("non-destination leaf accepted")
+	}
+}
+
+func TestValidateDetectsDetachedAndCycle(t *testing.T) {
+	tr := &Tree{Source: 0, Dests: []graph.NodeID{2}, Parent: map[graph.NodeID]graph.NodeID{2: 1}}
+	if err := tr.Validate(); err == nil {
+		t.Error("detached node accepted")
+	}
+	tr = &Tree{Source: 0, Dests: []graph.NodeID{1}, Parent: map[graph.NodeID]graph.NodeID{1: 2, 2: 1}}
+	if err := tr.Validate(); err == nil {
+		t.Error("cycle accepted")
+	}
+	tr = &Tree{Source: 0, Dests: []graph.NodeID{1}, Parent: map[graph.NodeID]graph.NodeID{}}
+	if err := tr.Validate(); err == nil {
+		t.Error("unspanned destination accepted")
+	}
+}
+
+func TestSourceIsAlsoDest(t *testing.T) {
+	// A node may be both a source and a destination (paper, Section 2.2).
+	g := lineGraph(3)
+	tr, err := SPT{Hops: true}.Build(g, 0, []graph.NodeID{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p := tr.PathTo(0); len(p) != 1 || p[0] != 0 {
+		t.Errorf("PathTo(source) = %v", p)
+	}
+}
+
+func TestSharedTreeSatisfiesSharing(t *testing.T) {
+	l := topology.GreatDuckIsland()
+	g := l.ConnectivityGraph(50)
+	st, err := NewSharedTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var trees []*Tree
+	for s := 0; s < 20; s++ {
+		var dests []graph.NodeID
+		for d := 0; d < g.Len(); d++ {
+			if rng.Float64() < 0.15 && d != s {
+				dests = append(dests, graph.NodeID(d))
+			}
+		}
+		if len(dests) == 0 {
+			continue
+		}
+		tr, err := st.Build(g, graph.NodeID(s), dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("tree of %d invalid: %v", s, err)
+		}
+		trees = append(trees, tr)
+	}
+	if err := CheckSharing(trees); err != nil {
+		t.Errorf("shared-tree builder violated sharing: %v", err)
+	}
+}
+
+func TestSharedTreePathEndpoints(t *testing.T) {
+	g := lineGraph(7)
+	st, err := NewSharedTree(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := st.Build(g, 5, []graph.NodeID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tr.PathTo(1)
+	if p[0] != 5 || p[len(p)-1] != 1 || len(p) != 5 {
+		t.Errorf("path = %v", p)
+	}
+}
+
+func TestCheckSharingDetectsViolation(t *testing.T) {
+	// Two trees disagreeing on the 0→3 path: 0-1-3 vs 0-2-3.
+	t1 := &Tree{Source: 0, Dests: []graph.NodeID{3},
+		Parent: map[graph.NodeID]graph.NodeID{1: 0, 3: 1}}
+	t2 := &Tree{Source: 0, Dests: []graph.NodeID{3},
+		Parent: map[graph.NodeID]graph.NodeID{2: 0, 3: 2}}
+	if err := CheckSharing([]*Tree{t1, t2}); err == nil {
+		t.Error("sharing violation not detected")
+	}
+	if err := CheckSharing([]*Tree{t1, t1}); err != nil {
+		t.Errorf("identical trees flagged: %v", err)
+	}
+}
+
+func TestSPTDeterministic(t *testing.T) {
+	l := topology.GreatDuckIsland()
+	g := l.ConnectivityGraph(50)
+	dests := []graph.NodeID{10, 20, 30, 40}
+	a, err := SPT{Hops: true}.Build(g, 5, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, err := SPT{Hops: true}.Build(g, 5, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Parent) != len(b.Parent) {
+			t.Fatal("nondeterministic tree size")
+		}
+		for n, p := range a.Parent {
+			if b.Parent[n] != p {
+				t.Fatalf("nondeterministic parent of %d", n)
+			}
+		}
+	}
+}
+
+func TestSPTDistanceVariant(t *testing.T) {
+	// Weighted: 0-1 (10), 1-2 (10), 0-2 (15). Distance routing goes direct;
+	// hop routing also goes direct (1 hop). Make hop path differ: add node 3.
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 5)
+	hops, err := SPT{Hops: true}.Build(g, 0, []graph.NodeID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := SPT{Hops: false}.Build(g, 0, []graph.NodeID{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops.PathTo(2)) != 2 {
+		t.Errorf("hop path = %v", hops.PathTo(2))
+	}
+	if len(dist.PathTo(2)) != 3 {
+		t.Errorf("dist path = %v", dist.PathTo(2))
+	}
+	if (SPT{Hops: true}).Name() == (SPT{Hops: false}).Name() {
+		t.Error("names must distinguish variants")
+	}
+}
+
+func TestContractKeepNone(t *testing.T) {
+	g := lineGraph(6)
+	tr, err := SPT{Hops: true}.Build(g, 0, []graph.NodeID{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, err := Contract(tr, KeepNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vt.Parent) != 1 {
+		t.Fatalf("virtual edges = %v", vt.Edges())
+	}
+	e := Edge{From: 0, To: 5}
+	if vt.PhysicalHops(e) != 5 {
+		t.Errorf("PhysicalHops = %d", vt.PhysicalHops(e))
+	}
+	if got := vt.HopPaths[e]; len(got) != 6 || got[0] != 0 || got[5] != 5 {
+		t.Errorf("HopPaths = %v", got)
+	}
+}
+
+func TestContractKeepAllIsIdentity(t *testing.T) {
+	g := lineGraph(5)
+	tr, err := SPT{Hops: true}.Build(g, 0, []graph.NodeID{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, err := Contract(tr, KeepAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vt.Parent) != len(tr.Parent) {
+		t.Fatalf("contracted tree differs: %v vs %v", vt.Edges(), tr.Edges())
+	}
+	for n, p := range tr.Parent {
+		if vt.Parent[n] != p {
+			t.Errorf("parent of %d differs", n)
+		}
+	}
+	for _, e := range vt.Edges() {
+		if vt.PhysicalHops(e) != 1 {
+			t.Errorf("edge %v has %d physical hops", e, vt.PhysicalHops(e))
+		}
+	}
+}
+
+func TestContractPreservesBranching(t *testing.T) {
+	//       1 - 2 - 3(dest)
+	// 0 <
+	//       4 - 5 - 6(dest)
+	g := graph.NewUndirected(7)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(5, 6, 1)
+	tr, err := SPT{Hops: true}.Build(g, 0, []graph.NodeID{3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keepOnly2 := func(n graph.NodeID) bool { return n == 2 }
+	vt, err := Contract(tr, keepOnly2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vt.Validate(); err != nil {
+		t.Fatalf("virtual tree invalid: %v", err)
+	}
+	// Virtual nodes: 0 (src), 2 (milestone), 3, 6 (dests).
+	if !vt.Contains(2) || vt.Contains(1) || vt.Contains(4) || vt.Contains(5) {
+		t.Errorf("virtual nodes = %v", vt.Nodes())
+	}
+	if vt.Parent[6] != 0 || vt.Parent[3] != 2 || vt.Parent[2] != 0 {
+		t.Errorf("virtual parents = %v", vt.Parent)
+	}
+	if vt.PhysicalHops(Edge{From: 0, To: 6}) != 3 {
+		t.Errorf("0→6 hops = %d", vt.PhysicalHops(Edge{From: 0, To: 6}))
+	}
+}
+
+func TestKeepEveryKth(t *testing.T) {
+	if !KeepAll(5) || KeepNone(5) {
+		t.Error("KeepAll/KeepNone wrong")
+	}
+	k1 := KeepEveryKth(1)
+	for n := 0; n < 50; n++ {
+		if !k1(graph.NodeID(n)) {
+			t.Fatal("stride 1 must keep everything")
+		}
+	}
+	k4 := KeepEveryKth(4)
+	kept := 0
+	for n := 0; n < 1000; n++ {
+		if k4(graph.NodeID(n)) {
+			kept++
+		}
+	}
+	if kept < 150 || kept > 350 {
+		t.Errorf("stride 4 kept %d of 1000 (expected ≈250)", kept)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive stride accepted")
+		}
+	}()
+	KeepEveryKth(0)
+}
+
+func TestKeepByQuality(t *testing.T) {
+	g := lineGraph(5)
+	// Links 1—2 and 2—3 are lossy: nodes 1, 2, 3 touch a bad link.
+	loss := func(u, v graph.NodeID) float64 {
+		if (u == 1 && v == 2) || (u == 2 && v == 1) ||
+			(u == 2 && v == 3) || (u == 3 && v == 2) {
+			return 0.5
+		}
+		return 0.05
+	}
+	keep := KeepByQuality(g, loss, 0.1)
+	want := map[graph.NodeID]bool{0: true, 1: false, 2: false, 3: false, 4: true}
+	for n, w := range want {
+		if got := keep(n); got != w {
+			t.Errorf("keep(%d) = %v, want %v", n, got, w)
+		}
+	}
+	// Permissive threshold keeps everything.
+	all := KeepByQuality(g, loss, 0.9)
+	for n := graph.NodeID(0); n < 5; n++ {
+		if !all(n) {
+			t.Errorf("permissive keep(%d) = false", n)
+		}
+	}
+}
+
+func TestContractRejectsInvalidTree(t *testing.T) {
+	bad := &Tree{Source: 0, Dests: []graph.NodeID{1}, Parent: map[graph.NodeID]graph.NodeID{}}
+	if _, err := Contract(bad, KeepAll); err == nil {
+		t.Error("invalid tree accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2m/internal/graph"
+	"m2m/internal/plan"
+	"m2m/internal/radio"
+	"m2m/internal/routing"
+	"m2m/internal/sim"
+	"m2m/internal/topology"
+	"m2m/internal/workload"
+)
+
+func lineNet(n int) *graph.Undirected {
+	g := graph.NewUndirected(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	return g
+}
+
+func TestBuildChain(t *testing.T) {
+	// 0→1→2→3 relays: each hop depends on the previous, and adjacent hops
+	// conflict, so the frame is exactly 3 slots.
+	net := lineNet(4)
+	msgs := []Message{
+		{From: 0, To: 1},
+		{From: 1, To: 2, Deps: []int{0}},
+		{From: 2, To: 3, Deps: []int{1}},
+	}
+	s, err := Build(net, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(net, msgs); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Errorf("frame = %d slots, want 3", s.Len())
+	}
+}
+
+func TestParallelNonConflicting(t *testing.T) {
+	// Two transmissions far apart can share slot 0.
+	net := lineNet(8)
+	msgs := []Message{
+		{From: 0, To: 1},
+		{From: 6, To: 7},
+	}
+	s, err := Build(net, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("frame = %d slots, want 1", s.Len())
+	}
+}
+
+func TestConflictRules(t *testing.T) {
+	net := lineNet(6)
+	cases := []struct {
+		name string
+		a, b Message
+		want bool
+	}{
+		{"same sender", Message{From: 1, To: 0}, Message{From: 1, To: 2}, true},
+		{"same receiver", Message{From: 0, To: 1}, Message{From: 2, To: 1}, true},
+		{"receiver equals other sender", Message{From: 0, To: 1}, Message{From: 1, To: 2}, true},
+		{"receiver hears other sender", Message{From: 0, To: 1}, Message{From: 2, To: 3}, true},
+		{"far apart", Message{From: 0, To: 1}, Message{From: 4, To: 5}, false},
+	}
+	for _, c := range cases {
+		if got := Conflicts(net, c.a, c.b); got != c.want {
+			t.Errorf("%s: Conflicts = %v, want %v", c.name, got, c.want)
+		}
+		if got := Conflicts(net, c.b, c.a); got != c.want {
+			t.Errorf("%s (swapped): Conflicts = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	net := lineNet(3)
+	if _, err := Build(net, []Message{{From: 0, To: 9}}); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if _, err := Build(net, []Message{{From: 0, To: 1, Deps: []int{5}}}); err == nil {
+		t.Error("invalid dependency accepted")
+	}
+	cyclic := []Message{
+		{From: 0, To: 1, Deps: []int{1}},
+		{From: 1, To: 2, Deps: []int{0}},
+	}
+	if _, err := Build(net, cyclic); err == nil {
+		t.Error("dependency cycle accepted")
+	}
+}
+
+func TestValidateDetectsBrokenSchedules(t *testing.T) {
+	net := lineNet(4)
+	msgs := []Message{
+		{From: 0, To: 1},
+		{From: 1, To: 2, Deps: []int{0}},
+	}
+	s, err := Build(net, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Violate the dependency by swapping slots.
+	bad := &Schedule{SlotOf: []int{1, 0}, Slots: [][]int{{1}, {0}}}
+	if err := bad.Validate(net, msgs); err == nil {
+		t.Error("dependency violation accepted")
+	}
+	// Put conflicting messages into one slot.
+	bad2 := &Schedule{SlotOf: []int{0, 0}, Slots: [][]int{{0, 1}}}
+	if err := bad2.Validate(net, msgs); err == nil {
+		t.Error("conflicting slot accepted")
+	}
+	_ = s
+}
+
+// engineMessages builds the optimal plan's message graph on a random
+// network and converts it to schedule input.
+func engineMessages(t *testing.T, seed int64) (*graph.Undirected, []Message) {
+	t.Helper()
+	l := topology.UniformRandom(40, topology.GreatDuckIsland().Area, seed)
+	l.EnsureConnected(50)
+	g := l.ConnectivityGraph(50)
+	specs, err := workload.Generate(g, workload.Config{
+		NumDests: 6, SourcesPerDest: 6, Dispersion: 0.9, MaxHops: 4, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := plan.NewInstance(g, routing.NewReversePath(g), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.NewEngine(p, radio.DefaultModel(), sim.Options{MergeMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := eng.MessageGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]Message, len(infos))
+	for i, mi := range infos {
+		msgs[i] = Message{From: mi.From, To: mi.To, Deps: mi.Deps}
+	}
+	return g, msgs
+}
+
+func TestScheduleRealPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		net, msgs := engineMessages(t, rng.Int63())
+		s, err := Build(net, msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(net, msgs); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.Len() > len(msgs) {
+			t.Errorf("trial %d: frame %d longer than message count %d", trial, s.Len(), len(msgs))
+		}
+		ls := s.Listening(msgs)
+		if ls.SavedFraction() <= 0 {
+			t.Errorf("trial %d: schedule saved no listening time (%+v)", trial, ls)
+		}
+		if ls.AwakeSlots > ls.AlwaysOnSlots {
+			t.Errorf("trial %d: awake %d exceeds always-on %d", trial, ls.AwakeSlots, ls.AlwaysOnSlots)
+		}
+	}
+}
+
+func TestListeningEmpty(t *testing.T) {
+	s := &Schedule{}
+	if got := s.Listening(nil).SavedFraction(); got != 0 {
+		t.Errorf("empty schedule saved %v", got)
+	}
+}

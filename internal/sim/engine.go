@@ -1,0 +1,424 @@
+// Package sim executes many-to-many aggregation plans over a simulated
+// Mica2-class network: it materializes the plan's message units, derives
+// their wait-for dependencies (acyclic per Theorem 2), merges units into
+// per-edge messages (Section 3), computes every destination's aggregate
+// value exactly, and accounts send/receive energy under the radio model.
+// It also implements the paper's flood baseline and the temporal
+// suppression + override execution mode of Section 3.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+	"m2m/internal/plan"
+	"m2m/internal/radio"
+	"m2m/internal/routing"
+)
+
+// nodeSource keys per-node availability of a source's raw value.
+type nodeSource struct {
+	node, source graph.NodeID
+}
+
+// nodeDest keys per-node accumulated partial records for a destination.
+type nodeDest struct {
+	node, dest graph.NodeID
+}
+
+// Engine executes one plan. It precomputes the unit list, the wait-for
+// DAG, a topological processing order, and the message layout, so repeated
+// Run calls only do value propagation.
+type Engine struct {
+	Plan  *plan.Plan
+	Radio radio.Model
+
+	units    []plan.Unit
+	unitIdx  map[plan.Unit]int
+	deps     [][]int // deps[u] = units u waits for
+	order    []int   // topological processing order
+	provider map[nodeSource]routing.Edge
+
+	messages  [][]int // message -> unit indices (per edge)
+	energyJ   float64
+	bodyBytes int
+	perNodeJ  map[graph.NodeID]float64
+}
+
+// Options configures engine construction.
+type Options struct {
+	// MergeMessages enables combining an edge's units into single messages
+	// (the paper's default). When false every unit travels alone,
+	// reproducing the "straightforward, though suboptimal" scheduling of
+	// Section 3.
+	MergeMessages bool
+	// EdgeHops maps a plan edge to the number of physical hops it spans.
+	// Plans over milestone (virtual) edges set this from the contraction's
+	// HopPaths; nil means every edge is a single physical hop. A message on
+	// a k-hop virtual edge is relayed k times, paying k unicasts.
+	EdgeHops func(routing.Edge) int
+	// Broadcast prices each node's outgoing traffic as one local broadcast
+	// with selective listening (the optimization of the paper's footnote
+	// 1): the union of the node's outgoing units — raw values deduplicated
+	// across out-edges — is sent once, and exactly the intended neighbors
+	// listen. Incompatible with EdgeHops.
+	Broadcast bool
+	// LinkLoss maps a plan edge to its packet loss probability in [0, 1);
+	// messages on lossy links pay the stop-and-wait ARQ expectation
+	// 1/(1-p) transmissions. Nil means lossless links. Incompatible with
+	// Broadcast (no per-link ACKs on a broadcast medium).
+	LinkLoss func(routing.Edge) float64
+}
+
+// NewEngine prepares an executor for p. It fails if the plan's wait-for
+// graph is cyclic (impossible for valid plans, per Theorem 2).
+func NewEngine(p *plan.Plan, model radio.Model, opts Options) (*Engine, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{Plan: p, Radio: model}
+	e.units = p.Units()
+	e.unitIdx = make(map[plan.Unit]int, len(e.units))
+	for i, u := range e.units {
+		e.unitIdx[u] = i
+	}
+	e.buildProviders()
+	if err := e.buildDeps(); err != nil {
+		return nil, err
+	}
+	d := graph.NewDigraph(len(e.units))
+	for u, ds := range e.deps {
+		for _, dep := range ds {
+			d.AddArc(dep, u)
+		}
+	}
+	order, ok := d.TopoSort()
+	if !ok {
+		return nil, fmt.Errorf("sim: wait-for cycle among message units (Theorem 2 violated)")
+	}
+	e.order = order
+	e.buildMessages(opts.MergeMessages)
+	if opts.Broadcast {
+		if opts.EdgeHops != nil {
+			return nil, fmt.Errorf("sim: Broadcast and EdgeHops are incompatible")
+		}
+		if opts.LinkLoss != nil {
+			return nil, fmt.Errorf("sim: Broadcast and LinkLoss are incompatible")
+		}
+		e.accountBroadcastEnergy()
+	} else {
+		if err := e.accountEnergy(opts.EdgeHops, opts.LinkLoss); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// buildProviders picks, for every (node, source) with the source's raw
+// value available, the deterministic in-edge that delivers it first.
+func (e *Engine) buildProviders() {
+	e.provider = make(map[nodeSource]routing.Edge)
+	edgesBySource := make(map[graph.NodeID][]routing.Edge)
+	for _, eg := range e.Plan.Inst.EdgeList {
+		for s := range e.Plan.Sol[eg].Raw {
+			edgesBySource[s] = append(edgesBySource[s], eg)
+		}
+	}
+	var sources []graph.NodeID
+	for s := range edgesBySource {
+		sources = append(sources, s)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+	for _, s := range sources {
+		edges := edgesBySource[s] // already deterministic (EdgeList order)
+		avail := map[graph.NodeID]bool{s: true}
+		for changed := true; changed; {
+			changed = false
+			for _, eg := range edges {
+				if avail[eg.From] && !avail[eg.To] {
+					avail[eg.To] = true
+					e.provider[nodeSource{node: eg.To, source: s}] = eg
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// buildDeps derives each unit's wait-for set (Section 3): a forwarded raw
+// value waits for the copy that delivered it; a partial record waits for
+// the upstream records and raw values it merges.
+func (e *Engine) buildDeps() error {
+	e.deps = make([][]int, len(e.units))
+	for i, u := range e.units {
+		seen := make(map[int]bool)
+		add := func(dep plan.Unit) error {
+			j, ok := e.unitIdx[dep]
+			if !ok {
+				return fmt.Errorf("sim: unit %v depends on missing unit %v", u, dep)
+			}
+			if !seen[j] {
+				seen[j] = true
+				e.deps[i] = append(e.deps[i], j)
+			}
+			return nil
+		}
+		switch u.Kind {
+		case plan.UnitRaw:
+			if u.Edge.From == u.Node {
+				continue // originates here
+			}
+			prov, ok := e.provider[nodeSource{node: u.Edge.From, source: u.Node}]
+			if !ok {
+				return fmt.Errorf("sim: raw %d unavailable at %d", u.Node, u.Edge.From)
+			}
+			if err := add(plan.Unit{Edge: prov, Kind: plan.UnitRaw, Node: u.Node}); err != nil {
+				return err
+			}
+		case plan.UnitAgg:
+			n := u.Edge.From
+			for _, pr := range e.Plan.Inst.EdgePairs[u.Edge] {
+				if pr.Dest != u.Node {
+					continue
+				}
+				pos := e.Plan.Inst.PairEdgeIndex(pr, u.Edge)
+				if pos == 0 {
+					continue // the source is n itself: local reading
+				}
+				path := e.Plan.Inst.Paths[pr]
+				in := routing.Edge{From: path[pos-1], To: path[pos]}
+				if e.Plan.Sol[in].Agg[u.Node] {
+					if err := add(plan.Unit{Edge: in, Kind: plan.UnitAgg, Node: u.Node}); err != nil {
+						return err
+					}
+				} else {
+					prov, ok := e.provider[nodeSource{node: n, source: pr.Source}]
+					if !ok {
+						return fmt.Errorf("sim: raw %d unavailable at %d for record %d", pr.Source, n, u.Node)
+					}
+					if err := add(plan.Unit{Edge: prov, Kind: plan.UnitRaw, Node: pr.Source}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		sort.Ints(e.deps[i])
+	}
+	return nil
+}
+
+// RoundResult reports one executed round.
+type RoundResult struct {
+	// Values holds every destination's exactly computed aggregate.
+	Values map[graph.NodeID]float64
+	// EnergyJ is the total radio energy (sender TX + receiver RX) of the
+	// round in joules.
+	EnergyJ float64
+	// Messages is the number of physical messages sent.
+	Messages int
+	// Units is the number of message units carried.
+	Units int
+	// BodyBytes is the total unit payload (excluding headers).
+	BodyBytes int
+	// OnAirBytes includes per-message headers.
+	OnAirBytes int
+	// PerNodeJ is each node's share of the round energy (TX at senders,
+	// RX at receivers) — the basis of the paper's bottleneck argument for
+	// in-network control. Treat as read-only.
+	PerNodeJ map[graph.NodeID]float64
+}
+
+// Observer receives every message unit as the round produces it: raw
+// units come with their value, record units with their partial aggregate.
+// Used for execution tracing (cmd/m2msim -trace).
+type Observer func(u plan.Unit, raw float64, rec agg.Record)
+
+// Run executes one round with the given readings (one per node; sources
+// not present default to 0) and returns the computed destination values
+// plus the round's communication cost.
+func (e *Engine) Run(readings map[graph.NodeID]float64) (*RoundResult, error) {
+	return e.RunObserved(readings, nil)
+}
+
+// RunObserved is Run with a unit-level observer (nil behaves like Run).
+func (e *Engine) RunObserved(readings map[graph.NodeID]float64, obs Observer) (*RoundResult, error) {
+	rawVal := make(map[nodeSource]float64)
+	recVal := make(map[nodeDest]agg.Record)
+	inst := e.Plan.Inst
+	for _, s := range inst.Sources() {
+		rawVal[nodeSource{node: s, source: s}] = readings[s]
+	}
+
+	for _, idx := range e.order {
+		u := e.units[idx]
+		switch u.Kind {
+		case plan.UnitRaw:
+			v, ok := rawVal[nodeSource{node: u.Edge.From, source: u.Node}]
+			if !ok {
+				return nil, fmt.Errorf("sim: raw %d missing at %d", u.Node, u.Edge.From)
+			}
+			rawVal[nodeSource{node: u.Edge.To, source: u.Node}] = v
+			if obs != nil {
+				obs(u, v, nil)
+			}
+		case plan.UnitAgg:
+			rec, err := e.assembleRecord(u.Edge.From, u.Node, u.Edge, rawVal, recVal)
+			if err != nil {
+				return nil, err
+			}
+			if obs != nil {
+				obs(u, 0, rec)
+			}
+			key := nodeDest{node: u.Edge.To, dest: u.Node}
+			if prev, ok := recVal[key]; ok {
+				f := inst.SpecByDest[u.Node].Func
+				recVal[key] = f.Merge(prev, rec)
+			} else {
+				recVal[key] = rec
+			}
+		}
+	}
+
+	values := make(map[graph.NodeID]float64, len(inst.SpecByDest))
+	for _, d := range inst.Dests() {
+		rec, err := e.assembleRecord(d, d, routing.Edge{}, rawVal, recVal)
+		if err != nil {
+			return nil, err
+		}
+		values[d] = inst.SpecByDest[d].Func.Eval(rec)
+	}
+
+	return &RoundResult{
+		Values:     values,
+		EnergyJ:    e.energyJ,
+		Messages:   len(e.messages),
+		Units:      len(e.units),
+		BodyBytes:  e.bodyBytes,
+		OnAirBytes: e.bodyBytes + len(e.messages)*e.Radio.HeaderBytes,
+		PerNodeJ:   e.perNodeJ,
+	}, nil
+}
+
+// assembleRecord merges destination d's contributions at node n. For a
+// transmitted record, out is the carrying edge (contributions are the
+// pairs crossing it); for the final merge at d itself, out is the zero
+// edge and the contributions are all of d's sources.
+func (e *Engine) assembleRecord(n, d graph.NodeID, out routing.Edge, rawVal map[nodeSource]float64, recVal map[nodeDest]agg.Record) (agg.Record, error) {
+	inst := e.Plan.Inst
+	f := inst.SpecByDest[d].Func
+	final := out == routing.Edge{}
+
+	var pairs []plan.Pair
+	if final {
+		for _, s := range f.Sources() {
+			pairs = append(pairs, plan.Pair{Source: s, Dest: d})
+		}
+	} else {
+		for _, pr := range inst.EdgePairs[out] {
+			if pr.Dest == d {
+				pairs = append(pairs, pr)
+			}
+		}
+	}
+
+	var rec agg.Record
+	mergeIn := func(r agg.Record) {
+		if rec == nil {
+			rec = r.Clone()
+		} else {
+			rec = f.Merge(rec, r)
+		}
+	}
+	usedUpstream := false
+	for _, pr := range pairs {
+		path := inst.Paths[pr]
+		// n's position on the pair's path: last for the final merge,
+		// out's From-index otherwise.
+		var pos int
+		if final {
+			pos = len(path) - 1
+		} else {
+			pos = inst.PairEdgeIndex(pr, out)
+			if pos < 0 {
+				return nil, fmt.Errorf("sim: pair %d→%d does not cross %v", pr.Source, pr.Dest, out)
+			}
+		}
+		if pos == 0 {
+			// n is the source itself.
+			v, ok := rawVal[nodeSource{node: n, source: pr.Source}]
+			if !ok {
+				return nil, fmt.Errorf("sim: local reading of %d missing", pr.Source)
+			}
+			mergeIn(f.PreAgg(pr.Source, v))
+			continue
+		}
+		in := routing.Edge{From: path[pos-1], To: path[pos]}
+		if e.Plan.Sol[in].Agg[d] {
+			if !usedUpstream {
+				usedUpstream = true
+				r, ok := recVal[nodeDest{node: n, dest: d}]
+				if !ok {
+					return nil, fmt.Errorf("sim: record for %d missing at %d", d, n)
+				}
+				mergeIn(r)
+			}
+			continue
+		}
+		v, ok := rawVal[nodeSource{node: n, source: pr.Source}]
+		if !ok {
+			return nil, fmt.Errorf("sim: raw %d missing at %d for record %d", pr.Source, n, d)
+		}
+		mergeIn(f.PreAgg(pr.Source, v))
+	}
+	if rec == nil {
+		return nil, fmt.Errorf("sim: empty record for %d at %d", d, n)
+	}
+	return rec, nil
+}
+
+// accountEnergy prices the message layout: each message is one unicast of
+// header + its units' payloads per physical hop of its edge, inflated by
+// the ARQ expectation on lossy links. Per-node attribution charges TX to
+// the edge tail and RX to the head; for multi-hop virtual edges the
+// relaying between milestones is split evenly between the endpoints (the
+// intermediate relays are chosen by the communication layer at runtime
+// and unknown to the plan).
+func (e *Engine) accountEnergy(edgeHops func(routing.Edge) int, linkLoss func(routing.Edge) float64) error {
+	e.energyJ = 0
+	e.bodyBytes = 0
+	e.perNodeJ = make(map[graph.NodeID]float64)
+	for _, msg := range e.messages {
+		body := 0
+		for _, ui := range msg {
+			body += e.Plan.Bytes(e.units[ui])
+		}
+		edge := e.units[msg[0]].Edge
+		hops := 1
+		if edgeHops != nil {
+			if h := edgeHops(edge); h > 0 {
+				hops = h
+			}
+		}
+		arq := 1.0
+		if linkLoss != nil {
+			f, err := radio.ARQFactor(linkLoss(edge))
+			if err != nil {
+				return fmt.Errorf("sim: edge %v: %w", edge, err)
+			}
+			arq = f
+		}
+		e.bodyBytes += body
+		total := arq * float64(hops) * e.Radio.UnicastJoules(body)
+		e.energyJ += total
+		if hops == 1 {
+			e.perNodeJ[edge.From] += arq * e.Radio.TxJoules(body)
+			e.perNodeJ[edge.To] += arq * e.Radio.RxJoules(body)
+		} else {
+			e.perNodeJ[edge.From] += total / 2
+			e.perNodeJ[edge.To] += total / 2
+		}
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+	"m2m/internal/radio"
+)
+
+// FloodResult reports one flooded round.
+type FloodResult struct {
+	// Values holds every destination's aggregate, computed locally from
+	// the flooded raw values.
+	Values map[graph.NodeID]float64
+	// EnergyJ is the total broadcast energy of the round.
+	EnergyJ float64
+	// Broadcasts is the number of broadcast messages sent.
+	Broadcasts int
+	// Phases is how many synchronized waves the flood took to quiesce.
+	Phases int
+}
+
+// Flood executes the paper's flood baseline for one round: every source's
+// raw value is flooded through the whole network using local broadcasts.
+// Per the paper, nodes batch: in each synchronized phase a node sends at
+// most one broadcast carrying every value it has received but not yet
+// forwarded. No per-node plan state is required — flood's one advantage.
+func Flood(net *graph.Undirected, specs []agg.Spec, model radio.Model, readings map[graph.NodeID]float64) (*FloodResult, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	sources := make(map[graph.NodeID]bool)
+	for _, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		for _, s := range sp.Func.Sources() {
+			if int(s) < 0 || int(s) >= net.Len() {
+				return nil, fmt.Errorf("sim: flood source %d out of range", s)
+			}
+			sources[s] = true
+		}
+	}
+
+	// have[n] = source values known at n; pending[n] = known but not yet
+	// rebroadcast by n.
+	n := net.Len()
+	have := make([]map[graph.NodeID]bool, n)
+	pending := make([]map[graph.NodeID]bool, n)
+	for i := range have {
+		have[i] = make(map[graph.NodeID]bool)
+		pending[i] = make(map[graph.NodeID]bool)
+	}
+	var srcList []graph.NodeID
+	for s := range sources {
+		srcList = append(srcList, s)
+	}
+	sort.Slice(srcList, func(i, j int) bool { return srcList[i] < srcList[j] })
+	for _, s := range srcList {
+		have[s][s] = true
+		pending[s][s] = true
+	}
+
+	res := &FloodResult{Values: make(map[graph.NodeID]float64)}
+	for {
+		type tx struct {
+			from graph.NodeID
+			vals []graph.NodeID
+		}
+		var wave []tx
+		for u := 0; u < n; u++ {
+			if len(pending[u]) == 0 {
+				continue
+			}
+			vals := make([]graph.NodeID, 0, len(pending[u]))
+			for s := range pending[u] {
+				vals = append(vals, s)
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			wave = append(wave, tx{from: graph.NodeID(u), vals: vals})
+			pending[u] = make(map[graph.NodeID]bool)
+		}
+		if len(wave) == 0 {
+			break
+		}
+		res.Phases++
+		for _, t := range wave {
+			body := len(t.vals) * agg.RawUnitBytes
+			listeners := net.Degree(t.from)
+			res.EnergyJ += model.BroadcastJoules(body, listeners)
+			res.Broadcasts++
+			for _, nb := range net.Neighbors(t.from) {
+				for _, s := range t.vals {
+					if !have[nb][s] {
+						have[nb][s] = true
+						pending[nb][s] = true
+					}
+				}
+			}
+		}
+	}
+
+	for _, sp := range specs {
+		vals := make(map[graph.NodeID]float64)
+		for _, s := range sp.Func.Sources() {
+			if !have[sp.Dest][s] {
+				return nil, fmt.Errorf("sim: flood did not deliver source %d to %d", s, sp.Dest)
+			}
+			vals[s] = readings[s]
+		}
+		v, err := agg.Eval(sp.Func, vals)
+		if err != nil {
+			return nil, err
+		}
+		res.Values[sp.Dest] = v
+	}
+	return res, nil
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"m2m/internal/graph"
+)
+
+func TestLifetimeRounds(t *testing.T) {
+	perRound := map[graph.NodeID]float64{0: 0.5, 1: 2.0, 2: 1.0}
+	rounds, hottest, err := LifetimeRounds(perRound, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 50 {
+		t.Errorf("rounds = %d, want 50", rounds)
+	}
+	if hottest != 1 {
+		t.Errorf("hottest = %d, want 1", hottest)
+	}
+}
+
+func TestLifetimeRoundsErrors(t *testing.T) {
+	if _, _, err := LifetimeRounds(map[graph.NodeID]float64{0: 1}, 0); err == nil {
+		t.Error("zero battery accepted")
+	}
+	if _, _, err := LifetimeRounds(map[graph.NodeID]float64{0: -1}, 10); err == nil {
+		t.Error("negative energy accepted")
+	}
+	if _, _, err := LifetimeRounds(map[graph.NodeID]float64{0: 0}, 10); err == nil {
+		t.Error("unbounded lifetime accepted")
+	}
+	if _, _, err := LifetimeRounds(nil, 10); err == nil {
+		t.Error("empty map accepted")
+	}
+}
+
+func TestLifetimeDeterministicTiebreak(t *testing.T) {
+	perRound := map[graph.NodeID]float64{5: 2.0, 3: 2.0, 9: 2.0}
+	_, hottest, err := LifetimeRounds(perRound, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hottest != 3 {
+		t.Errorf("hottest = %d, want smallest-ID 3", hottest)
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"m2m/internal/plan"
+	"m2m/internal/radio"
+	"m2m/internal/routing"
+)
+
+func TestLinkLossInflatesEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	inst := buildInstance(t, rng, 35, 5, 5, false)
+	p, err := plan.Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossless, err := NewEngine(p, radio.DefaultModel(), Options{MergeMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := NewEngine(p, radio.DefaultModel(), Options{
+		MergeMessages: true,
+		LinkLoss:      func(routing.Edge) float64 { return 0.5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := randomReadings(rng, inst.Net.Len())
+	r0, err := lossless.Run(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := lossy.Run(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform 50% loss doubles every transmission: exactly 2× energy.
+	if math.Abs(r1.EnergyJ-2*r0.EnergyJ) > 1e-12 {
+		t.Errorf("uniform 0.5 loss energy %v, want exactly 2× %v", r1.EnergyJ, r0.EnergyJ)
+	}
+	// Values unaffected (ARQ eventually delivers).
+	for d, v := range r0.Values {
+		if r1.Values[d] != v {
+			t.Error("loss changed values")
+		}
+	}
+	// Per-node energy still sums to the total.
+	sum := 0.0
+	for _, v := range r1.PerNodeJ {
+		sum += v
+	}
+	if math.Abs(sum-r1.EnergyJ) > 1e-9 {
+		t.Errorf("per-node sum %v != total %v", sum, r1.EnergyJ)
+	}
+}
+
+func TestLinkLossRejectsInvalid(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	inst := buildInstance(t, rng, 20, 3, 3, false)
+	p, err := plan.Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(p, radio.DefaultModel(), Options{
+		LinkLoss: func(routing.Edge) float64 { return 1.0 },
+	}); err == nil {
+		t.Error("loss = 1 accepted")
+	}
+	if _, err := NewEngine(p, radio.DefaultModel(), Options{
+		Broadcast: true,
+		LinkLoss:  func(routing.Edge) float64 { return 0.1 },
+	}); err == nil {
+		t.Error("Broadcast+LinkLoss accepted")
+	}
+}
+
+func TestLossForDistanceShape(t *testing.T) {
+	r := 50.0
+	if got := radio.LossForDistance(10, r, 0.4); got != 0 {
+		t.Errorf("short link loss = %v", got)
+	}
+	if got := radio.LossForDistance(25, r, 0.4); got != 0 {
+		t.Errorf("half-range loss = %v", got)
+	}
+	full := radio.LossForDistance(50, r, 0.4)
+	if math.Abs(full-0.4) > 1e-12 {
+		t.Errorf("full-range loss = %v, want 0.4", full)
+	}
+	mid := radio.LossForDistance(37.5, r, 0.4)
+	if mid <= 0 || mid >= full {
+		t.Errorf("gray-zone loss = %v not between 0 and %v", mid, full)
+	}
+	if got := radio.LossForDistance(100, r, 0.4); got != 0.4 {
+		t.Errorf("beyond-range loss = %v, want clamp to 0.4", got)
+	}
+	if got := radio.LossForDistance(40, 0, 0.4); got != 0 {
+		t.Errorf("degenerate range loss = %v", got)
+	}
+}
+
+func TestARQFactor(t *testing.T) {
+	if f, err := radio.ARQFactor(0); err != nil || f != 1 {
+		t.Errorf("ARQ(0) = %v, %v", f, err)
+	}
+	if f, err := radio.ARQFactor(0.75); err != nil || f != 4 {
+		t.Errorf("ARQ(0.75) = %v, %v", f, err)
+	}
+	if _, err := radio.ARQFactor(1); err == nil {
+		t.Error("loss 1 accepted")
+	}
+	if _, err := radio.ARQFactor(-0.1); err == nil {
+		t.Error("negative loss accepted")
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"sort"
+
+	"m2m/internal/graph"
+	"m2m/internal/routing"
+)
+
+// buildMessages groups units into physical messages. Units travelling the
+// same edge are eligible for merging (Section 3); a merge is kept only if
+// the message-level wait-for graph stays acyclic. The paper reports that
+// the greedy merge collapses every edge to a single message in all its
+// experiments; the all-at-once attempt below succeeds in exactly those
+// cases and the pairwise fallback handles the rare cyclic ones.
+func (e *Engine) buildMessages(merge bool) {
+	if !merge {
+		e.messages = make([][]int, len(e.units))
+		for i := range e.units {
+			e.messages[i] = []int{i}
+		}
+		return
+	}
+
+	// Start from the ideal layout: one message per edge.
+	byEdge := make(map[routing.Edge][]int)
+	var edges []routing.Edge
+	for i, u := range e.units {
+		if len(byEdge[u.Edge]) == 0 {
+			edges = append(edges, u.Edge)
+		}
+		byEdge[u.Edge] = append(byEdge[u.Edge], i)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+
+	assign := make([]int, len(e.units)) // unit -> message id
+	nMsgs := 0
+	for _, eg := range edges {
+		for _, ui := range byEdge[eg] {
+			assign[ui] = nMsgs
+		}
+		nMsgs++
+	}
+	if e.messageGraphAcyclic(assign, nMsgs) {
+		e.messages = messagesFromAssign(assign, nMsgs)
+		return
+	}
+
+	// Fallback for the rare wait-for cycles (the paper: "such situations
+	// seem to be quite rare"): locate the cyclic core of the merged
+	// message graph, split exactly those edges back into per-unit
+	// messages (always feasible — the unit-level graph is acyclic per
+	// Theorem 2), then greedily re-merge pairs within just those edges.
+	for iter := 0; ; iter++ {
+		core := e.messageGraph(assign, nMsgs).CyclicCore()
+		if len(core) == 0 {
+			break
+		}
+		inCore := make(map[int]bool, len(core))
+		for _, m := range core {
+			inCore[m] = true
+		}
+		var brokenEdges []routing.Edge
+		seenEdge := make(map[routing.Edge]bool)
+		for ui, m := range assign {
+			if inCore[m] && !seenEdge[e.units[ui].Edge] {
+				seenEdge[e.units[ui].Edge] = true
+				brokenEdges = append(brokenEdges, e.units[ui].Edge)
+			}
+		}
+		for _, eg := range brokenEdges {
+			for _, ui := range byEdge[eg] {
+				assign[ui] = nMsgs
+				nMsgs++
+			}
+		}
+		if !e.messageGraphAcyclic(assign, nMsgs) {
+			if iter > len(e.units) {
+				panic("sim: merge fallback failed to converge") // unreachable: fully split is acyclic
+			}
+			continue
+		}
+		// Re-merge greedily within the broken edges only: accumulate each
+		// unit into the current message unless a path between the two
+		// messages (necessarily through other messages — units of one edge
+		// never depend on each other) would close a cycle.
+		for _, eg := range brokenEdges {
+			uis := byEdge[eg]
+			mg := e.messageGraph(assign, nMsgs)
+			cur := assign[uis[0]]
+			for _, ui := range uis[1:] {
+				b := assign[ui]
+				if b == cur {
+					continue
+				}
+				if mg.Reaches(cur, b) || mg.Reaches(b, cur) {
+					cur = b // start a new message from here
+					continue
+				}
+				assign[ui] = cur
+				mg = e.messageGraph(assign, nMsgs)
+			}
+		}
+		if !e.messageGraphAcyclic(assign, nMsgs) {
+			panic("sim: merge fallback produced a cyclic layout") // unreachable
+		}
+		break
+	}
+	// Compact message ids.
+	remap := make(map[int]int)
+	for _, m := range assign {
+		if _, ok := remap[m]; !ok {
+			remap[m] = len(remap)
+		}
+	}
+	for ui, m := range assign {
+		assign[ui] = remap[m]
+	}
+	e.messages = messagesFromAssign(assign, len(remap))
+}
+
+// messageGraph lifts the unit wait-for relation onto messages. Self-arcs
+// cannot arise (no unit depends on a unit of its own edge) but are
+// skipped defensively.
+func (e *Engine) messageGraph(assign []int, nMsgs int) *graph.Digraph {
+	d := graph.NewDigraph(nMsgs)
+	for u, ds := range e.deps {
+		for _, dep := range ds {
+			if assign[dep] != assign[u] {
+				d.AddArc(assign[dep], assign[u])
+			}
+		}
+	}
+	return d
+}
+
+// messageGraphAcyclic checks whether the message-level wait-for relation
+// is a DAG.
+func (e *Engine) messageGraphAcyclic(assign []int, nMsgs int) bool {
+	return !e.messageGraph(assign, nMsgs).HasCycle()
+}
+
+func messagesFromAssign(assign []int, nMsgs int) [][]int {
+	out := make([][]int, nMsgs)
+	for ui, m := range assign {
+		out[m] = append(out[m], ui)
+	}
+	// Drop empty slots (possible after compaction of sparse ids).
+	var msgs [][]int
+	for _, m := range out {
+		if len(m) > 0 {
+			msgs = append(msgs, m)
+		}
+	}
+	return msgs
+}

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+	"m2m/internal/plan"
+	"m2m/internal/radio"
+	"m2m/internal/routing"
+)
+
+func TestOutOfNetworkValuesCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	inst := buildInstance(t, rng, 40, 5, 5, false)
+	readings := randomReadings(rng, inst.Net.Len())
+	res, err := OutOfNetwork(inst.Net, inst.Specs, radio.DefaultModel(), 0, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range inst.Specs {
+		vals := make(map[graph.NodeID]float64)
+		for _, s := range sp.Func.Sources() {
+			vals[s] = readings[s]
+		}
+		want, err := agg.Eval(sp.Func, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Values[sp.Dest]-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("base-computed value at %d = %v, want %v", sp.Dest, res.Values[sp.Dest], want)
+		}
+	}
+	if res.EnergyJ <= 0 || res.Messages <= 0 || res.UpHops <= 0 || res.DownHops <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+}
+
+func TestOutOfNetworkBottleneck(t *testing.T) {
+	// The paper's introduction: nodes near the base are overburdened. The
+	// base (or a neighbor) must carry far more energy than the median node,
+	// and more than under the in-network optimal plan.
+	rng := rand.New(rand.NewSource(22))
+	inst := buildInstance(t, rng, 50, 8, 8, false)
+	readings := randomReadings(rng, inst.Net.Len())
+	base := graph.NodeID(0)
+
+	oon, err := OutOfNetwork(inst.Net, inst.Specs, radio.DefaultModel(), base, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p, radio.DefaultModel(), Options{MergeMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := eng.Run(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	maxOf := func(m map[graph.NodeID]float64) float64 {
+		max := 0.0
+		for _, v := range m {
+			if v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	if maxOf(oon.PerNodeJ) <= maxOf(in.PerNodeJ) {
+		t.Errorf("out-of-network bottleneck %v J not above in-network %v J",
+			maxOf(oon.PerNodeJ), maxOf(in.PerNodeJ))
+	}
+	// The hottest out-of-network node must be the base or its neighbor.
+	var hottest graph.NodeID
+	best := -1.0
+	for n, v := range oon.PerNodeJ {
+		if v > best {
+			best, hottest = v, n
+		}
+	}
+	if hottest != base && !inst.Net.HasEdge(hottest, base) {
+		t.Errorf("hottest node %d is not at the base's neighborhood", hottest)
+	}
+}
+
+func TestOutOfNetworkErrors(t *testing.T) {
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	specs := []agg.Spec{{Dest: 1, Func: agg.NewWeightedSum(map[graph.NodeID]float64{0: 1})}}
+	if _, err := OutOfNetwork(g, specs, radio.DefaultModel(), 2, nil); err == nil {
+		t.Error("unreachable base accepted")
+	}
+	if _, err := OutOfNetwork(g, specs, radio.DefaultModel(), 9, nil); err == nil {
+		t.Error("out-of-range base accepted")
+	}
+	if _, err := OutOfNetwork(g, specs, radio.Model{}, 0, nil); err == nil {
+		t.Error("invalid radio accepted")
+	}
+}
+
+func TestPerNodeEnergySumsToTotal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	inst := buildInstance(t, rng, 35, 5, 5, true)
+	p, err := plan.Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p, radio.DefaultModel(), Options{MergeMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(randomReadings(rng, inst.Net.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range res.PerNodeJ {
+		sum += v
+	}
+	if math.Abs(sum-res.EnergyJ) > 1e-9 {
+		t.Errorf("per-node sum %v != total %v", sum, res.EnergyJ)
+	}
+}
+
+func TestBroadcastModeEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	inst := buildInstance(t, rng, 40, 6, 6, false)
+	p := plan.Multicast(inst) // lots of duplicated raw units: broadcast's best case
+	uni, err := NewEngine(p, radio.DefaultModel(), Options{MergeMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := NewEngine(p, radio.DefaultModel(), Options{MergeMessages: true, Broadcast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := randomReadings(rng, inst.Net.Len())
+	ru, err := uni.Run(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := bc.Run(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values must be identical; broadcast only changes the energy model.
+	for d, v := range ru.Values {
+		if math.Abs(rb.Values[d]-v) > 1e-9 {
+			t.Fatalf("broadcast changed value at %d", d)
+		}
+	}
+	// Deduplicated raw units can only shrink the body payload.
+	if rb.BodyBytes > ru.BodyBytes {
+		t.Errorf("broadcast body %d B exceeds unicast %d B", rb.BodyBytes, ru.BodyBytes)
+	}
+	// Per-node energy still sums to the total.
+	sum := 0.0
+	for _, v := range rb.PerNodeJ {
+		sum += v
+	}
+	if math.Abs(sum-rb.EnergyJ) > 1e-9 {
+		t.Errorf("broadcast per-node sum %v != total %v", sum, rb.EnergyJ)
+	}
+}
+
+func TestBroadcastIncompatibleWithEdgeHops(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	inst := buildInstance(t, rng, 20, 3, 3, false)
+	p, err := plan.Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewEngine(p, radio.DefaultModel(), Options{
+		Broadcast: true,
+		EdgeHops:  func(routing.Edge) int { return 2 },
+	})
+	if err == nil {
+		t.Error("Broadcast+EdgeHops accepted")
+	}
+}

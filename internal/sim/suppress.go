@@ -1,0 +1,453 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+	"m2m/internal/plan"
+	"m2m/internal/radio"
+	"m2m/internal/routing"
+)
+
+// Policy selects the paper's override heuristic (Section 3, "Continuous
+// Control with Suppression"): when a node holds a changed raw value that
+// the default plan folds into partial records, it may instead keep the
+// value raw, trading downstream aggregation opportunities for fewer units
+// now. Aggressive overrides whenever raw is locally no more expensive,
+// conservative only when raw is at most half the aggregation cost, medium
+// in between. PolicyNone executes the default plan with plain suppression.
+type Policy int
+
+// Override policies.
+const (
+	PolicyNone Policy = iota
+	PolicyConservative
+	PolicyMedium
+	PolicyAggressive
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyConservative:
+		return "conservative"
+	case PolicyMedium:
+		return "medium"
+	case PolicyAggressive:
+		return "aggressive"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// threshold returns θ such that the node overrides when
+// rawCost ≤ θ · aggregationCost.
+func (p Policy) threshold() float64 {
+	switch p {
+	case PolicyConservative:
+		return 0.5
+	case PolicyMedium:
+		return 0.75
+	case PolicyAggressive:
+		return 1.0
+	default:
+		return 0
+	}
+}
+
+// pairRoute is the precomputed suppression-relevant geometry of one pair:
+// where its contribution enters record form under the default plan.
+type pairRoute struct {
+	pair plan.Pair
+	path []graph.NodeID
+	// aggIdx is the index of the first edge carrying the pair in record
+	// form (Agg[dest] set), or -1 if the value travels raw all the way and
+	// is pre-aggregated at the destination itself.
+	aggIdx int
+	// preNode holds the pre-aggregation entry for this pair: the tail of
+	// the aggIdx edge, or the destination when aggIdx == -1.
+	preNode graph.NodeID
+}
+
+// Suppressor executes a plan in temporal-suppression mode: each round only
+// the changed sources transmit (deltas), empty records are suppressed, and
+// the chosen override policy may keep changed values raw.
+//
+// Delta semantics require every aggregation function to be Linear
+// (weighted sums); NewSuppressor rejects other workloads, mirroring the
+// paper's note that suppression suits some aggregation functions only.
+type Suppressor struct {
+	Plan   *plan.Plan
+	Radio  radio.Model
+	Policy Policy
+	// Flexible enables Section 3's "more flexible alternative": the
+	// pre-aggregation function of every value is stored at every node on
+	// its multicast path, so an overridden raw value is reconsidered at
+	// each hop and can re-enter record form downstream instead of staying
+	// raw to the destination. Costs extra state (ExtraStateEntries).
+	Flexible bool
+
+	routes []pairRoute
+	// byPreNode groups routes by (preNode, source) — the override decision
+	// unit.
+	byPreNode map[nodeSource][]*pairRoute
+}
+
+// NewSuppressorFlexible is NewSuppressor with the store-weights-everywhere
+// alternative enabled.
+func NewSuppressorFlexible(p *plan.Plan, model radio.Model, policy Policy) (*Suppressor, error) {
+	s, err := NewSuppressor(p, model, policy)
+	if err != nil {
+		return nil, err
+	}
+	s.Flexible = true
+	return s, nil
+}
+
+// ExtraStateEntries counts the additional pre-aggregation entries the
+// Flexible mode stores: one (source, dest) weight at every intermediate
+// node of each pair's record segment beyond the single node the default
+// plan uses.
+func (s *Suppressor) ExtraStateEntries() int {
+	extra := 0
+	for _, rt := range s.routes {
+		if rt.aggIdx < 0 {
+			continue
+		}
+		// Nodes strictly after the pre-aggregation node, excluding the
+		// destination (which always has its own weights).
+		if n := len(rt.path) - rt.aggIdx - 2; n > 0 {
+			extra += n
+		}
+	}
+	return extra
+}
+
+// NewSuppressor validates and precomputes suppression execution for p.
+func NewSuppressor(p *plan.Plan, model radio.Model, policy Policy) (*Suppressor, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Suppressor{Plan: p, Radio: model, Policy: policy, byPreNode: make(map[nodeSource][]*pairRoute)}
+	for _, sp := range p.Inst.Specs {
+		if !sp.Func.Linear() {
+			return nil, fmt.Errorf("sim: suppression requires linear aggregates; destination %d uses %s",
+				sp.Dest, sp.Func.Name())
+		}
+	}
+	var pairs []plan.Pair
+	for pr := range p.Inst.Paths {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Source != pairs[j].Source {
+			return pairs[i].Source < pairs[j].Source
+		}
+		return pairs[i].Dest < pairs[j].Dest
+	})
+	for _, pr := range pairs {
+		path := p.Inst.Paths[pr]
+		rt := pairRoute{pair: pr, path: path, aggIdx: -1, preNode: pr.Dest}
+		for i := 0; i+1 < len(path); i++ {
+			e := routing.Edge{From: path[i], To: path[i+1]}
+			if p.Sol[e].Agg[pr.Dest] {
+				rt.aggIdx = i
+				rt.preNode = path[i]
+				break
+			}
+		}
+		// Suppression bookkeeping assumes a single aggregation point: once
+		// in record form, the pair stays in record form.
+		if rt.aggIdx >= 0 {
+			for i := rt.aggIdx; i+1 < len(path); i++ {
+				e := routing.Edge{From: path[i], To: path[i+1]}
+				if !p.Sol[e].Agg[pr.Dest] {
+					return nil, fmt.Errorf("sim: pair %d→%d leaves record form after edge %v; plan unsupported for suppression",
+						pr.Source, pr.Dest, e)
+				}
+			}
+		}
+		s.routes = append(s.routes, rt)
+	}
+	for i := range s.routes {
+		rt := &s.routes[i]
+		if rt.aggIdx >= 0 {
+			k := nodeSource{node: rt.preNode, source: rt.pair.Source}
+			s.byPreNode[k] = append(s.byPreNode[k], rt)
+		}
+	}
+	return s, nil
+}
+
+// SuppressionRound reports one suppressed round.
+type SuppressionRound struct {
+	// DeltaValues is the exact change of each destination's aggregate this
+	// round (destinations with no changed sources are absent).
+	DeltaValues map[graph.NodeID]float64
+	// EnergyJ is the round's total radio energy.
+	EnergyJ float64
+	// Messages counts physical messages (one per edge carrying units).
+	Messages int
+	// RawUnits and RecordUnits count transmitted units by kind.
+	RawUnits, RecordUnits int
+	// Overrides counts (node, value) override decisions taken.
+	Overrides int
+}
+
+// Round executes one suppressed round. deltas maps each changed source to
+// its value change; unchanged sources must be absent.
+func (s *Suppressor) Round(deltas map[graph.NodeID]float64) (*SuppressionRound, error) {
+	inst := s.Plan.Inst
+	changed := func(n graph.NodeID) bool {
+		_, ok := deltas[n]
+		return ok
+	}
+	for n := range deltas {
+		if int(n) < 0 || int(n) >= inst.Net.Len() {
+			return nil, fmt.Errorf("sim: changed node %d out of range", n)
+		}
+	}
+
+	// recordFires[e][d]: the record (d, e) carries at least one changed,
+	// non-overridden contribution. First pass ignores overrides to price
+	// the aggregation option; override decisions then prune contributions.
+	type edgeDest struct {
+		e routing.Edge
+		d graph.NodeID
+	}
+	contribCount := make(map[edgeDest]int) // changed contributions per record
+	for _, rt := range s.routes {
+		if !changed(rt.pair.Source) || rt.aggIdx < 0 {
+			continue
+		}
+		for i := rt.aggIdx; i+1 < len(rt.path); i++ {
+			e := routing.Edge{From: rt.path[i], To: rt.path[i+1]}
+			contribCount[edgeDest{e: e, d: rt.pair.Dest}]++
+		}
+	}
+
+	// recordStart[rt] is the edge index from which the pair's contribution
+	// travels in record form this round; len(path)-1 (or beyond) means it
+	// stays raw to the destination.
+	res := &SuppressionRound{DeltaValues: make(map[graph.NodeID]float64)}
+	rawEdges := make(map[routing.Edge]map[graph.NodeID]bool) // edge -> raw sources aboard
+	addRaw := func(e routing.Edge, src graph.NodeID) {
+		m, ok := rawEdges[e]
+		if !ok {
+			m = make(map[graph.NodeID]bool)
+			rawEdges[e] = m
+		}
+		m[src] = true
+	}
+	for _, e := range inst.EdgeList {
+		for src := range s.Plan.Sol[e].Raw {
+			if changed(src) {
+				addRaw(e, src)
+			}
+		}
+	}
+
+	recordStart := make(map[*pairRoute]int)
+	for i := range s.routes {
+		rt := &s.routes[i]
+		if changed(rt.pair.Source) && rt.aggIdx >= 0 {
+			recordStart[rt] = rt.aggIdx
+		}
+	}
+
+	theta := s.Policy.threshold()
+	if theta > 0 {
+		// decide evaluates the override heuristic for one value at one
+		// node: A is the marginal cost of folding it into records here
+		// (records no other changed contribution would fire), B the local
+		// cost of keeping it raw.
+		decide := func(items []*pairRoute, pos map[*pairRoute]int) bool {
+			aggCost := 0
+			outEdges := make(map[routing.Edge]bool)
+			for _, rt := range items {
+				i := pos[rt]
+				e := routing.Edge{From: rt.path[i], To: rt.path[i+1]}
+				if contribCount[edgeDest{e: e, d: rt.pair.Dest}] == 1 {
+					aggCost += agg.UnitBytes(inst.SpecByDest[rt.pair.Dest].Func)
+				}
+				outEdges[e] = true
+			}
+			rawCost := len(outEdges) * agg.RawUnitBytes
+			return aggCost > 0 && float64(rawCost) <= theta*float64(aggCost)
+		}
+
+		var keys []nodeSource
+		for k := range s.byPreNode {
+			if changed(k.source) {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].node != keys[j].node {
+				return keys[i].node < keys[j].node
+			}
+			return keys[i].source < keys[j].source
+		})
+
+		if !s.Flexible {
+			// Default plan: only the pre-aggregation node holds the weights,
+			// so an overridden value stays raw to its destinations — the
+			// paper's noted risk of override.
+			for _, k := range keys {
+				routes := s.byPreNode[k]
+				pos := make(map[*pairRoute]int, len(routes))
+				for _, rt := range routes {
+					pos[rt] = rt.aggIdx
+				}
+				if decide(routes, pos) {
+					res.Overrides++
+					for _, rt := range routes {
+						for i := rt.aggIdx; i+1 < len(rt.path); i++ {
+							addRaw(routing.Edge{From: rt.path[i], To: rt.path[i+1]}, k.source)
+						}
+						recordStart[rt] = len(rt.path) // never in record form
+					}
+				}
+			}
+		} else {
+			// Flexible alternative (Section 3): weights live at every path
+			// node, so an overridden value is reconsidered hop by hop and
+			// may re-enter record form downstream.
+			type workItem struct {
+				routes []*pairRoute
+				pos    map[*pairRoute]int
+			}
+			work := make(map[nodeSource]*workItem)
+			for _, k := range keys {
+				wi := &workItem{pos: make(map[*pairRoute]int)}
+				for _, rt := range s.byPreNode[k] {
+					wi.routes = append(wi.routes, rt)
+					wi.pos[rt] = rt.aggIdx
+				}
+				work[k] = wi
+			}
+			for len(work) > 0 {
+				var wkeys []nodeSource
+				for k := range work {
+					wkeys = append(wkeys, k)
+				}
+				sort.Slice(wkeys, func(i, j int) bool {
+					if wkeys[i].node != wkeys[j].node {
+						return wkeys[i].node < wkeys[j].node
+					}
+					return wkeys[i].source < wkeys[j].source
+				})
+				k := wkeys[0]
+				wi := work[k]
+				delete(work, k)
+				if !decide(wi.routes, wi.pos) {
+					// Fold here: records fire from each route's position.
+					for _, rt := range wi.routes {
+						recordStart[rt] = wi.pos[rt]
+					}
+					continue
+				}
+				res.Overrides++
+				for _, rt := range wi.routes {
+					i := wi.pos[rt]
+					addRaw(routing.Edge{From: rt.path[i], To: rt.path[i+1]}, k.source)
+					next := i + 1
+					if next >= len(rt.path)-1 {
+						// Reached the destination: it folds locally.
+						recordStart[rt] = len(rt.path)
+						continue
+					}
+					nk := nodeSource{node: rt.path[next], source: k.source}
+					nwi, ok := work[nk]
+					if !ok {
+						nwi = &workItem{pos: make(map[*pairRoute]int)}
+						work[nk] = nwi
+					}
+					nwi.routes = append(nwi.routes, rt)
+					nwi.pos[rt] = next
+				}
+			}
+		}
+	}
+
+	// Fired records: changed contributions from their (possibly deferred)
+	// record-entry position onward.
+	recordsOn := make(map[edgeDest]bool)
+	for i := range s.routes {
+		rt := &s.routes[i]
+		start, ok := recordStart[rt]
+		if !ok {
+			continue
+		}
+		for i := start; i+1 < len(rt.path); i++ {
+			recordsOn[edgeDest{e: routing.Edge{From: rt.path[i], To: rt.path[i+1]}, d: rt.pair.Dest}] = true
+		}
+	}
+
+	// Self-check: every changed pair must be covered on every edge of its
+	// path by a fired raw unit or a fired record.
+	for _, rt := range s.routes {
+		if !changed(rt.pair.Source) {
+			continue
+		}
+		for i := 0; i+1 < len(rt.path); i++ {
+			e := routing.Edge{From: rt.path[i], To: rt.path[i+1]}
+			if !rawEdges[e][rt.pair.Source] && !recordsOn[edgeDest{e: e, d: rt.pair.Dest}] {
+				return nil, fmt.Errorf("sim: suppression left pair %d→%d uncovered on %v",
+					rt.pair.Source, rt.pair.Dest, e)
+			}
+		}
+	}
+
+	// Energy: one message per edge carrying any unit.
+	bodyByEdge := make(map[routing.Edge]int)
+	for e, srcs := range rawEdges {
+		bodyByEdge[e] += len(srcs) * agg.RawUnitBytes
+		res.RawUnits += len(srcs)
+	}
+	for ed := range recordsOn {
+		bodyByEdge[ed.e] += agg.UnitBytes(inst.SpecByDest[ed.d].Func)
+		res.RecordUnits++
+	}
+	// Deterministic summation order keeps energies bit-identical across
+	// runs and modes.
+	var firedEdges []routing.Edge
+	for e := range bodyByEdge {
+		firedEdges = append(firedEdges, e)
+	}
+	sort.Slice(firedEdges, func(i, j int) bool {
+		if firedEdges[i].From != firedEdges[j].From {
+			return firedEdges[i].From < firedEdges[j].From
+		}
+		return firedEdges[i].To < firedEdges[j].To
+	})
+	for _, e := range firedEdges {
+		res.EnergyJ += s.Radio.UnicastJoules(bodyByEdge[e])
+		res.Messages++
+	}
+
+	// Exact aggregate deltas (linearity): each changed pair contributes its
+	// pre-aggregated delta at the destination regardless of route.
+	byDest := make(map[graph.NodeID]agg.Record)
+	for _, rt := range s.routes {
+		dv, ok := deltas[rt.pair.Source]
+		if !ok {
+			continue
+		}
+		f := inst.SpecByDest[rt.pair.Dest].Func
+		r := f.PreAgg(rt.pair.Source, dv)
+		if prev, ok := byDest[rt.pair.Dest]; ok {
+			byDest[rt.pair.Dest] = f.Merge(prev, r)
+		} else {
+			byDest[rt.pair.Dest] = r
+		}
+	}
+	for d, rec := range byDest {
+		res.DeltaValues[d] = inst.SpecByDest[d].Func.Eval(rec)
+	}
+	return res, nil
+}

@@ -1,0 +1,204 @@
+// Package specfile parses and formats the textual workload format used by
+// the CLI tools, so custom many-to-many aggregation workloads can be
+// loaded from files instead of generated randomly.
+//
+// Grammar (line oriented; '#' starts a comment):
+//
+//	<dest> = <kind>(<source>[:<weight>], ...) [@ <threshold>]
+//
+// Kinds: wsum, wavg, wstddev, min, max, range, countabove. Weights
+// default to 1 and are only meaningful for the weighted kinds; the
+// threshold suffix is required for countabove and rejected otherwise.
+//
+//	# sap flux control
+//	5  = wsum(1:0.5, 2:0.3, 7)
+//	9  = wavg(3, 4:2)
+//	14 = countabove(2, 5, 8) @ 0.7
+package specfile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+)
+
+// Parse reads a workload from r.
+func Parse(r io.Reader) ([]agg.Spec, error) {
+	var specs []agg.Spec
+	seen := make(map[graph.NodeID]bool)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		sp, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("specfile: line %d: %w", lineNo, err)
+		}
+		if seen[sp.Dest] {
+			return nil, fmt.Errorf("specfile: line %d: destination %d repeated", lineNo, sp.Dest)
+		}
+		seen[sp.Dest] = true
+		specs = append(specs, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("specfile: no specs found")
+	}
+	return specs, nil
+}
+
+func parseLine(line string) (agg.Spec, error) {
+	var zero agg.Spec
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return zero, fmt.Errorf("missing '='")
+	}
+	dest, err := parseNode(strings.TrimSpace(line[:eq]))
+	if err != nil {
+		return zero, fmt.Errorf("destination: %w", err)
+	}
+	rest := strings.TrimSpace(line[eq+1:])
+
+	// Optional threshold suffix.
+	threshold, hasThreshold := 0.0, false
+	if at := strings.LastIndexByte(rest, '@'); at >= 0 {
+		t, err := strconv.ParseFloat(strings.TrimSpace(rest[at+1:]), 64)
+		if err != nil {
+			return zero, fmt.Errorf("threshold: %w", err)
+		}
+		threshold, hasThreshold = t, true
+		rest = strings.TrimSpace(rest[:at])
+	}
+
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return zero, fmt.Errorf("expected kind(args)")
+	}
+	kind := strings.ToLower(strings.TrimSpace(rest[:open]))
+	argstr := rest[open+1 : len(rest)-1]
+
+	weights := make(map[graph.NodeID]float64)
+	var sources []graph.NodeID
+	for _, tok := range strings.Split(argstr, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		w := 1.0
+		if c := strings.IndexByte(tok, ':'); c >= 0 {
+			var err error
+			w, err = strconv.ParseFloat(strings.TrimSpace(tok[c+1:]), 64)
+			if err != nil {
+				return zero, fmt.Errorf("weight in %q: %w", tok, err)
+			}
+			tok = strings.TrimSpace(tok[:c])
+		}
+		s, err := parseNode(tok)
+		if err != nil {
+			return zero, fmt.Errorf("source: %w", err)
+		}
+		if _, dup := weights[s]; dup {
+			return zero, fmt.Errorf("source %d repeated", s)
+		}
+		weights[s] = w
+		sources = append(sources, s)
+	}
+	if len(sources) == 0 {
+		return zero, fmt.Errorf("no sources")
+	}
+
+	if hasThreshold && kind != "countabove" {
+		return zero, fmt.Errorf("threshold only valid for countabove")
+	}
+	var f agg.Func
+	switch kind {
+	case "wsum":
+		f = agg.NewWeightedSum(weights)
+	case "wavg":
+		f = agg.NewWeightedAverage(weights)
+	case "wstddev":
+		f = agg.NewWeightedStdDev(weights)
+	case "min":
+		f = agg.NewMin(sources)
+	case "max":
+		f = agg.NewMax(sources)
+	case "range":
+		f = agg.NewRange(sources)
+	case "countabove":
+		if !hasThreshold {
+			return zero, fmt.Errorf("countabove requires '@ threshold'")
+		}
+		f = agg.NewCountAbove(sources, threshold)
+	default:
+		return zero, fmt.Errorf("unknown kind %q", kind)
+	}
+	return agg.Spec{Dest: dest, Func: f}, nil
+}
+
+func parseNode(s string) (graph.NodeID, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad node id %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative node id %d", n)
+	}
+	return graph.NodeID(n), nil
+}
+
+// Format writes the workload in the same textual format Parse reads,
+// destinations ascending.
+func Format(w io.Writer, specs []agg.Spec) error {
+	ordered := append([]agg.Spec(nil), specs...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Dest < ordered[j].Dest })
+	for _, sp := range ordered {
+		if err := sp.Validate(); err != nil {
+			return err
+		}
+		var args []string
+		weighted := false
+		switch sp.Func.(type) {
+		case *agg.WeightedSum, *agg.WeightedAverage, *agg.WeightedStdDev:
+			weighted = true
+		}
+		for _, s := range sp.Func.Sources() {
+			if weighted {
+				p, err := agg.ParamOf(sp.Func, s)
+				if err != nil {
+					return err
+				}
+				args = append(args, fmt.Sprintf("%d:%s", s, trimFloat(p)))
+			} else {
+				args = append(args, strconv.Itoa(int(s)))
+			}
+		}
+		line := fmt.Sprintf("%d = %s(%s)", sp.Dest, sp.Func.Name(), strings.Join(args, ", "))
+		if ca, ok := sp.Func.(*agg.CountAbove); ok {
+			line += fmt.Sprintf(" @ %s", trimFloat(ca.Threshold))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func trimFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

@@ -1,0 +1,128 @@
+package specfile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+)
+
+const sample = `
+# sap flux control
+5  = wsum(1:0.5, 2:0.3, 7)
+9  = wavg(3, 4:2)
+12 = min(1, 2, 3)     # cold spot
+14 = countabove(2, 5, 8) @ 0.7
+20 = range(0, 6)
+21 = max(0, 6)
+22 = wstddev(1:2, 3)
+`
+
+func TestParseSample(t *testing.T) {
+	specs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 7 {
+		t.Fatalf("parsed %d specs", len(specs))
+	}
+	byDest := make(map[graph.NodeID]agg.Spec)
+	for _, sp := range specs {
+		byDest[sp.Dest] = sp
+	}
+	ws := byDest[5].Func.(*agg.WeightedSum)
+	if ws.Weight(1) != 0.5 || ws.Weight(2) != 0.3 || ws.Weight(7) != 1 {
+		t.Errorf("weights = %v %v %v", ws.Weight(1), ws.Weight(2), ws.Weight(7))
+	}
+	if byDest[9].Func.Name() != "wavg" || byDest[12].Func.Name() != "min" {
+		t.Error("kinds wrong")
+	}
+	ca := byDest[14].Func.(*agg.CountAbove)
+	if ca.Threshold != 0.7 {
+		t.Errorf("threshold = %v", ca.Threshold)
+	}
+	if got := len(byDest[20].Func.Sources()); got != 2 {
+		t.Errorf("range sources = %d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"5 wsum(1)",               // missing =
+		"x = wsum(1)",             // bad dest
+		"5 = wsum()",              // no sources
+		"5 = wsum(1:a)",           // bad weight
+		"5 = bogus(1)",            // unknown kind
+		"5 = wsum(1, 1)",          // repeated source
+		"5 = min(1) @ 2",          // threshold on non-countabove
+		"5 = countabove(1)",       // missing threshold
+		"5 = countabove(1) @ x",   // bad threshold
+		"5 = wsum(1)\n5 = min(2)", // repeated destination
+		"5 = wsum(-2)",            // negative node
+		"5 = wsum 1",              // missing parens
+	}
+	for _, in := range bad {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	specs, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Format(&b, specs); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("formatted output unparseable: %v\n%s", err, b.String())
+	}
+	if len(again) != len(specs) {
+		t.Fatalf("round trip changed count: %d vs %d", len(again), len(specs))
+	}
+	// Semantic equality: same functions on the same readings.
+	readings := map[graph.NodeID]float64{0: 1, 1: 2, 2: 3, 3: 4, 4: 5, 5: 6, 6: 7, 7: 8, 8: 0.9}
+	byDest := make(map[graph.NodeID]agg.Spec)
+	for _, sp := range again {
+		byDest[sp.Dest] = sp
+	}
+	for _, sp := range specs {
+		vals := make(map[graph.NodeID]float64)
+		for _, s := range sp.Func.Sources() {
+			vals[s] = readings[s]
+		}
+		want, err := agg.Eval(sp.Func, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := agg.Eval(byDest[sp.Dest].Func, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("dest %d: %v != %v after round trip", sp.Dest, got, want)
+		}
+	}
+}
+
+func TestFormatOrdersByDest(t *testing.T) {
+	specs := []agg.Spec{
+		{Dest: 9, Func: agg.NewMin([]graph.NodeID{1})},
+		{Dest: 2, Func: agg.NewMax([]graph.NodeID{1})},
+	}
+	var b strings.Builder
+	if err := Format(&b, specs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if !strings.HasPrefix(lines[0], "2 ") || !strings.HasPrefix(lines[1], "9 ") {
+		t.Errorf("order wrong:\n%s", b.String())
+	}
+}

@@ -1,0 +1,82 @@
+// Package stats provides the small statistical helpers used by the
+// experiment harness: sample means, deviations, and standard errors for
+// averaging results over random networks and rounds.
+package stats
+
+import "math"
+
+// Sample is a collection of observations.
+type Sample []float64
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s Sample) Mean() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	return sum / float64(len(s))
+}
+
+// Var returns the unbiased sample variance (0 for fewer than 2 points).
+func (s Sample) Var() float64 {
+	if len(s) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s {
+		sum += (x - m) * (x - m)
+	}
+	return sum / float64(len(s)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (s Sample) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// StdErr returns the standard error of the mean.
+func (s Sample) StdErr() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(len(s)))
+}
+
+// Min returns the smallest observation (0 for an empty sample).
+func (s Sample) Min() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, x := range s[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation (0 for an empty sample).
+func (s Sample) Max() float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	m := s[0]
+	for _, x := range s[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the total of all observations.
+func (s Sample) Sum() float64 {
+	sum := 0.0
+	for _, x := range s {
+		sum += x
+	}
+	return sum
+}

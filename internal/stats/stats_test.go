@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 || s.StdDev() != 0 || s.StdErr() != 0 ||
+		s.Min() != 0 || s.Max() != 0 || s.Sum() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	s := Sample{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(s.Mean(), 5) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	// Unbiased variance of this classic sample: 32/7.
+	if !almost(s.Var(), 32.0/7.0) {
+		t.Errorf("Var = %v", s.Var())
+	}
+	if !almost(s.StdDev(), math.Sqrt(32.0/7.0)) {
+		t.Errorf("StdDev = %v", s.StdDev())
+	}
+	if !almost(s.StdErr(), s.StdDev()/math.Sqrt(8)) {
+		t.Errorf("StdErr = %v", s.StdErr())
+	}
+	if s.Min() != 2 || s.Max() != 9 || !almost(s.Sum(), 40) {
+		t.Errorf("Min/Max/Sum = %v/%v/%v", s.Min(), s.Max(), s.Sum())
+	}
+}
+
+func TestSingleton(t *testing.T) {
+	s := Sample{3.5}
+	if !almost(s.Mean(), 3.5) || s.Var() != 0 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Error("singleton stats wrong")
+	}
+}
+
+func TestConstantSample(t *testing.T) {
+	s := Sample{7, 7, 7, 7}
+	if s.Var() != 0 || s.StdDev() != 0 {
+		t.Error("constant sample should have zero variance")
+	}
+}

@@ -1,0 +1,172 @@
+package topology
+
+import (
+	"testing"
+
+	"m2m/internal/geom"
+	"m2m/internal/graph"
+)
+
+func TestGreatDuckIslandShape(t *testing.T) {
+	l := GreatDuckIsland()
+	if l.Len() != GDINodes {
+		t.Fatalf("node count = %d, want %d", l.Len(), GDINodes)
+	}
+	for i, p := range l.Points {
+		if !l.Area.Contains(p) {
+			t.Errorf("node %d at %v outside area", i, p)
+		}
+	}
+	g := l.ConnectivityGraph(50)
+	if !g.Connected() {
+		t.Fatal("GDI layout not connected at 50 m")
+	}
+	// The paper's network is multi-hop: diameter should be several hops.
+	tr := g.BFS(0)
+	maxHops := 0
+	for u := 0; u < l.Len(); u++ {
+		if h := tr.Hops(graph.NodeID(u)); h > maxHops {
+			maxHops = h
+		}
+	}
+	if maxHops < 3 {
+		t.Errorf("network too shallow: max hops from node 0 = %d", maxHops)
+	}
+}
+
+func TestGreatDuckIslandDeterministic(t *testing.T) {
+	a, b := GreatDuckIsland(), GreatDuckIsland()
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("node %d differs across calls: %v vs %v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestUniformRandom(t *testing.T) {
+	area := geom.NewRect(10, 20, 100, 50)
+	l := UniformRandom(200, area, 1)
+	if l.Len() != 200 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	for _, p := range l.Points {
+		if !area.Contains(p) {
+			t.Fatalf("point %v outside area", p)
+		}
+	}
+	// Determinism and seed sensitivity.
+	l2 := UniformRandom(200, area, 1)
+	l3 := UniformRandom(200, area, 2)
+	if l.Points[0] != l2.Points[0] {
+		t.Error("same seed produced different layout")
+	}
+	same := true
+	for i := range l.Points {
+		if l.Points[i] != l3.Points[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical layout")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	l := Grid(3, 4, 10)
+	if l.Len() != 12 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Points[0] != (geom.Point{X: 0, Y: 0}) {
+		t.Errorf("origin = %v", l.Points[0])
+	}
+	if l.Points[11] != (geom.Point{X: 20, Y: 30}) {
+		t.Errorf("far corner = %v", l.Points[11])
+	}
+	g := l.ConnectivityGraph(10.5)
+	// 4-neighbor lattice: (3-1)*4 + (4-1)*3 = 17 edges.
+	if g.NumEdges() != 17 {
+		t.Errorf("lattice edges = %d, want 17", g.NumEdges())
+	}
+}
+
+func TestClusteredStaysInArea(t *testing.T) {
+	area := geom.NewRect(0, 0, 106, 203)
+	l := Clustered(68, area, 9, 22, 42)
+	if l.Len() != 68 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	for _, p := range l.Points {
+		if !area.Contains(p) {
+			t.Fatalf("point %v escaped area", p)
+		}
+	}
+}
+
+func TestScaledDensity(t *testing.T) {
+	ref := float64(GDINodes) / (GDIWidth * GDIHeight)
+	for _, n := range []int{50, 100, 150, 200, 250} {
+		l := Scaled(n, 7)
+		if l.Len() != n {
+			t.Fatalf("Scaled(%d) has %d nodes", n, l.Len())
+		}
+		d := l.Density()
+		if d < ref*0.99 || d > ref*1.01 {
+			t.Errorf("Scaled(%d) density %v, want ≈ %v", n, d, ref)
+		}
+		if !l.ConnectivityGraph(50).Connected() {
+			t.Errorf("Scaled(%d) not connected", n)
+		}
+	}
+}
+
+func TestConnectivityGraphRange(t *testing.T) {
+	l := &Layout{
+		Area:   geom.NewRect(0, 0, 100, 100),
+		Points: []geom.Point{{X: 0, Y: 0}, {X: 30, Y: 0}, {X: 90, Y: 0}},
+	}
+	g := l.ConnectivityGraph(50)
+	if !g.HasEdge(0, 1) {
+		t.Error("edge 0-1 missing (30 m apart)")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("edge 0-2 present (90 m apart)")
+	}
+	if g.HasEdge(1, 2) {
+		t.Error("edge 1-2 present (60 m apart, beyond 50 m range)")
+	}
+}
+
+func TestEnsureConnectedRepairs(t *testing.T) {
+	l := &Layout{
+		Area:   geom.NewRect(0, 0, 300, 10),
+		Points: []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 200, Y: 0}, {X: 210, Y: 0}},
+	}
+	if l.ConnectivityGraph(50).Connected() {
+		t.Fatal("test precondition: layout should start disconnected")
+	}
+	l.EnsureConnected(50)
+	if !l.ConnectivityGraph(50).Connected() {
+		t.Fatal("EnsureConnected failed")
+	}
+}
+
+func TestConnectivityEdgeWeightIsDistance(t *testing.T) {
+	l := &Layout{Points: []geom.Point{{X: 0, Y: 0}, {X: 3, Y: 4}}}
+	g := l.ConnectivityGraph(10)
+	w, err := g.Weight(0, 1)
+	if err != nil || w != 5 {
+		t.Errorf("weight = %v, %v; want 5", w, err)
+	}
+}
+
+func TestDensity(t *testing.T) {
+	l := &Layout{Area: geom.NewRect(0, 0, 10, 10), Points: make([]geom.Point, 5)}
+	if got := l.Density(); got != 0.05 {
+		t.Errorf("Density = %v", got)
+	}
+	empty := &Layout{}
+	if empty.Density() != 0 {
+		t.Error("zero-area layout should report 0 density")
+	}
+}

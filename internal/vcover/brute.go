@@ -1,0 +1,59 @@
+package vcover
+
+import "math/big"
+
+// BruteForce enumerates every subset of U ∪ V and returns the cover that
+// minimizes the canonically perturbed weight — the same objective Solve
+// optimizes — so tests can compare both weight and exact membership.
+// It is exponential and intended for problems with |U|+|V| ≤ ~20.
+func BruteForce(p *Problem) *Solution {
+	n := len(p.U) + len(p.V)
+	if n > 24 {
+		panic("vcover: BruteForce problem too large")
+	}
+	maxKey := 0
+	for _, x := range p.U {
+		if x.Key > maxKey {
+			maxKey = x.Key
+		}
+	}
+	for _, y := range p.V {
+		if y.Key > maxKey {
+			maxKey = y.Key
+		}
+	}
+	shift := uint(maxKey + 1)
+	perturbed := func(v Vertex) *big.Int {
+		w := new(big.Int).SetInt64(v.Weight)
+		w.Lsh(w, shift)
+		return w.Add(w, new(big.Int).Lsh(big.NewInt(1), uint(v.Key)))
+	}
+
+	var best *Solution
+	var bestW *big.Int
+	for mask := 0; mask < 1<<n; mask++ {
+		s := &Solution{InU: make([]bool, len(p.U)), InV: make([]bool, len(p.V))}
+		w := new(big.Int)
+		for i := range p.U {
+			if mask&(1<<i) != 0 {
+				s.InU[i] = true
+				s.Weight += p.U[i].Weight
+				w.Add(w, perturbed(p.U[i]))
+			}
+		}
+		for j := range p.V {
+			if mask&(1<<(len(p.U)+j)) != 0 {
+				s.InV[j] = true
+				s.Weight += p.V[j].Weight
+				w.Add(w, perturbed(p.V[j]))
+			}
+		}
+		if !s.Covers(p) {
+			continue
+		}
+		if best == nil || w.Cmp(bestW) < 0 {
+			best, bestW = s, w
+		}
+	}
+	return best
+}

@@ -1,0 +1,124 @@
+package vcover
+
+import "math/big"
+
+// flowNet is a Dinic max-flow network with arbitrary-precision capacities.
+// Exact big-integer arithmetic is what lets the canonical perturbation
+// guarantee unique minimum cuts (see the package comment).
+type flowNet struct {
+	arcs  []arc
+	heads [][]int // per-vertex arc indices
+	level []int
+	iter  []int
+}
+
+type arc struct {
+	to  int
+	cap *big.Int // remaining capacity
+	rev int      // index of the reverse arc in arcs
+}
+
+func newFlowNet(n int) *flowNet {
+	return &flowNet{
+		heads: make([][]int, n),
+		level: make([]int, n),
+		iter:  make([]int, n),
+	}
+}
+
+func (f *flowNet) addArc(u, v int, capacity *big.Int) {
+	f.heads[u] = append(f.heads[u], len(f.arcs))
+	f.arcs = append(f.arcs, arc{to: v, cap: capacity, rev: len(f.arcs) + 1})
+	f.heads[v] = append(f.heads[v], len(f.arcs))
+	f.arcs = append(f.arcs, arc{to: u, cap: new(big.Int), rev: len(f.arcs) - 1})
+}
+
+func (f *flowNet) bfsLevels(src, snk int) bool {
+	for i := range f.level {
+		f.level[i] = -1
+	}
+	f.level[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, ai := range f.heads[u] {
+			a := &f.arcs[ai]
+			if a.cap.Sign() > 0 && f.level[a.to] == -1 {
+				f.level[a.to] = f.level[u] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return f.level[snk] != -1
+}
+
+// dfsBlock pushes flow along level-increasing paths; limit caps the pushed
+// amount. Returns the amount pushed (zero Sign means none).
+func (f *flowNet) dfsBlock(u, snk int, limit *big.Int) *big.Int {
+	if u == snk {
+		return new(big.Int).Set(limit)
+	}
+	for ; f.iter[u] < len(f.heads[u]); f.iter[u]++ {
+		ai := f.heads[u][f.iter[u]]
+		a := &f.arcs[ai]
+		if a.cap.Sign() <= 0 || f.level[a.to] != f.level[u]+1 {
+			continue
+		}
+		next := limit
+		if a.cap.Cmp(limit) < 0 {
+			next = a.cap
+		}
+		pushed := f.dfsBlock(a.to, snk, next)
+		if pushed.Sign() > 0 {
+			a.cap.Sub(a.cap, pushed)
+			f.arcs[a.rev].cap.Add(f.arcs[a.rev].cap, pushed)
+			return pushed
+		}
+	}
+	return new(big.Int)
+}
+
+// maxflow runs Dinic to completion and returns the max-flow value.
+func (f *flowNet) maxflow(src, snk int) *big.Int {
+	total := new(big.Int)
+	// An upper bound on any single augmentation: sum of all capacities.
+	limit := new(big.Int)
+	for i := range f.arcs {
+		limit.Add(limit, f.arcs[i].cap)
+	}
+	limit.Add(limit, big.NewInt(1))
+	for f.bfsLevels(src, snk) {
+		for i := range f.iter {
+			f.iter[i] = 0
+		}
+		for {
+			pushed := f.dfsBlock(src, snk, limit)
+			if pushed.Sign() == 0 {
+				break
+			}
+			total.Add(total, pushed)
+		}
+	}
+	return total
+}
+
+// residualReachable returns the set of vertices reachable from src in the
+// residual graph after maxflow — the source side of the canonical min cut.
+func (f *flowNet) residualReachable(src int) []bool {
+	reach := make([]bool, len(f.heads))
+	reach[src] = true
+	stack := []int{src}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ai := range f.heads[u] {
+			a := &f.arcs[ai]
+			if a.cap.Sign() > 0 && !reach[a.to] {
+				reach[a.to] = true
+				stack = append(stack, a.to)
+			}
+		}
+	}
+	return reach
+}

@@ -1,0 +1,261 @@
+// Package vcover solves minimum-weight vertex cover on bipartite graphs,
+// the core optimization of the paper's single-edge problem (Section 2.2).
+//
+// The reduction is classical (König/network-flow): attach a super-source S
+// to every U-vertex with capacity equal to its weight, every V-vertex to a
+// super-sink T likewise, and give the bipartite edges infinite capacity.
+// A minimum S–T cut then cuts exactly one "vertex arc" per covered vertex,
+// so the min cut is the min-weight cover; we extract it from residual
+// reachability after running Dinic's algorithm.
+//
+// Theorem 1 of the paper requires every per-edge cover to be UNIQUE, with
+// tiebreaks consistent across all edges of the network. We implement the
+// paper's "minuscule weights" exactly: each vertex carries a globally
+// unique Key, and its effective capacity is weight·2^B + 2^Key for a shift
+// B larger than every key. Distinct covers then have distinct perturbed
+// weights (bit sets differ), so the minimum is unique, and the perturbation
+// depends only on the vertex identity — the same everywhere in the network.
+// Capacities are math/big integers, so this is exact, not approximate.
+package vcover
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// Vertex is one side's entry in a single-edge problem.
+type Vertex struct {
+	// Key is the globally unique tiebreak identity of this vertex. Two
+	// problem instances mentioning the same network node in the same role
+	// must use the same Key (the planner uses 2·nodeID+role).
+	Key int
+	// Weight is the true transmission cost (bytes) of choosing this vertex.
+	Weight int64
+}
+
+// Problem is a weighted bipartite vertex cover instance. U conventionally
+// holds sources (raw transmission) and V destinations (partial aggregate
+// transmission). Edges pair indices into U and V.
+type Problem struct {
+	U, V  []Vertex
+	Edges [][2]int
+}
+
+// Validate checks index ranges, weight signs, and key uniqueness.
+func (p *Problem) Validate() error {
+	seen := make(map[int]bool, len(p.U)+len(p.V))
+	for i, x := range p.U {
+		if x.Weight < 0 {
+			return fmt.Errorf("vcover: U[%d] has negative weight %d", i, x.Weight)
+		}
+		if x.Key < 0 {
+			return fmt.Errorf("vcover: U[%d] has negative key %d", i, x.Key)
+		}
+		if seen[x.Key] {
+			return fmt.Errorf("vcover: duplicate key %d", x.Key)
+		}
+		seen[x.Key] = true
+	}
+	for j, y := range p.V {
+		if y.Weight < 0 {
+			return fmt.Errorf("vcover: V[%d] has negative weight %d", j, y.Weight)
+		}
+		if y.Key < 0 {
+			return fmt.Errorf("vcover: V[%d] has negative key %d", j, y.Key)
+		}
+		if seen[y.Key] {
+			return fmt.Errorf("vcover: duplicate key %d", y.Key)
+		}
+		seen[y.Key] = true
+	}
+	for _, e := range p.Edges {
+		if e[0] < 0 || e[0] >= len(p.U) || e[1] < 0 || e[1] >= len(p.V) {
+			return fmt.Errorf("vcover: edge %v out of range", e)
+		}
+	}
+	return nil
+}
+
+// Solution is a vertex cover of a Problem.
+type Solution struct {
+	InU, InV []bool
+	// Weight is the true (unperturbed) total weight of the cover.
+	Weight int64
+}
+
+// Covers reports whether s covers every edge of p.
+func (s *Solution) Covers(p *Problem) bool {
+	for _, e := range p.Edges {
+		if !s.InU[e[0]] && !s.InV[e[1]] {
+			return false
+		}
+	}
+	return true
+}
+
+// ChosenU returns the indices of chosen U-vertices in ascending order.
+func (s *Solution) ChosenU() []int { return chosen(s.InU) }
+
+// ChosenV returns the indices of chosen V-vertices in ascending order.
+func (s *Solution) ChosenV() []int { return chosen(s.InV) }
+
+func chosen(in []bool) []int {
+	var out []int
+	for i, b := range in {
+		if b {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Solve returns the unique minimum-weight vertex cover of p under the
+// canonical key perturbation.
+func Solve(p *Problem) (*Solution, error) {
+	return SolveConstrained(p, nil)
+}
+
+// SolveConstrained is Solve with some U-vertices forbidden from the cover
+// (forbidU[i] true means U[i] must NOT be chosen — used by the planner's
+// repair pass when a raw value is unavailable at a downstream edge, having
+// been aggregated upstream). Every V-neighbor of a forbidden U-vertex is
+// then forced into the cover. A nil forbidU imposes no constraints.
+func SolveConstrained(p *Problem, forbidU []bool) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if forbidU != nil && len(forbidU) != len(p.U) {
+		return nil, fmt.Errorf("vcover: forbidU length %d != |U| %d", len(forbidU), len(p.U))
+	}
+
+	sol := &Solution{
+		InU: make([]bool, len(p.U)),
+		InV: make([]bool, len(p.V)),
+	}
+
+	// Preprocess constraints: neighbors of forbidden U-vertices are forced
+	// into the cover; edges they cover disappear from the residual problem.
+	forcedV := make([]bool, len(p.V))
+	if forbidU != nil {
+		for _, e := range p.Edges {
+			if forbidU[e[0]] {
+				forcedV[e[1]] = true
+			}
+		}
+	}
+	var residual [][2]int
+	for _, e := range p.Edges {
+		if !forcedV[e[1]] {
+			residual = append(residual, e)
+		}
+	}
+	for j := range forcedV {
+		if forcedV[j] {
+			sol.InV[j] = true
+			sol.Weight += p.V[j].Weight
+		}
+	}
+
+	maxKey := 0
+	for _, x := range p.U {
+		if x.Key > maxKey {
+			maxKey = x.Key
+		}
+	}
+	for _, y := range p.V {
+		if y.Key > maxKey {
+			maxKey = y.Key
+		}
+	}
+	shift := uint(maxKey + 1)
+
+	perturbed := func(v Vertex) *big.Int {
+		w := new(big.Int).SetInt64(v.Weight)
+		w.Lsh(w, shift)
+		bit := new(big.Int).Lsh(big.NewInt(1), uint(v.Key))
+		return w.Add(w, bit)
+	}
+
+	// Flow network: 0 = source, 1 = sink, U-vertex i -> 2+i,
+	// V-vertex j -> 2+len(U)+j.
+	nU, nV := len(p.U), len(p.V)
+	net := newFlowNet(2 + nU + nV)
+	const src, snk = 0, 1
+	total := new(big.Int)
+	for i, x := range p.U {
+		c := perturbed(x)
+		total.Add(total, c)
+		net.addArc(src, 2+i, c)
+	}
+	for j, y := range p.V {
+		c := perturbed(y)
+		total.Add(total, c)
+		net.addArc(2+nU+j, snk, c)
+	}
+	inf := new(big.Int).Add(total, big.NewInt(1))
+	for _, e := range residual {
+		net.addArc(2+e[0], 2+nU+e[1], new(big.Int).Set(inf))
+	}
+
+	net.maxflow(src, snk)
+
+	// Min cut from residual reachability: U-vertices unreachable from the
+	// source have their vertex arc saturated (chosen); V-vertices reachable
+	// from the source must be chosen to cut their sink arc.
+	reach := net.residualReachable(src)
+	for i := range p.U {
+		if !reach[2+i] {
+			// Only pick vertices that actually have residual edges; an
+			// isolated U-vertex is always reachable (capacity > 0 thanks to
+			// the perturbation bit), so this branch implies it was needed.
+			sol.InU[i] = true
+			sol.Weight += p.U[i].Weight
+		}
+	}
+	for j := range p.V {
+		if reach[2+nU+j] && !sol.InV[j] {
+			sol.InV[j] = true
+			sol.Weight += p.V[j].Weight
+		}
+	}
+
+	if !sol.Covers(p) {
+		return nil, fmt.Errorf("vcover: internal error: extracted non-cover")
+	}
+	if forbidU != nil {
+		for i, f := range forbidU {
+			if f && sol.InU[i] {
+				return nil, fmt.Errorf("vcover: internal error: forbidden vertex U[%d] chosen", i)
+			}
+		}
+	}
+	return sol, nil
+}
+
+// AllU returns the trivial cover choosing every U-vertex incident to at
+// least one edge (the pure-multicast plan at a single edge).
+func AllU(p *Problem) *Solution {
+	s := &Solution{InU: make([]bool, len(p.U)), InV: make([]bool, len(p.V))}
+	for _, e := range p.Edges {
+		if !s.InU[e[0]] {
+			s.InU[e[0]] = true
+			s.Weight += p.U[e[0]].Weight
+		}
+	}
+	return s
+}
+
+// AllV returns the trivial cover choosing every V-vertex incident to at
+// least one edge (the pure aggregate-as-early-as-possible plan).
+func AllV(p *Problem) *Solution {
+	s := &Solution{InU: make([]bool, len(p.U)), InV: make([]bool, len(p.V))}
+	for _, e := range p.Edges {
+		if !s.InV[e[1]] {
+			s.InV[e[1]] = true
+			s.Weight += p.V[e[1]].Weight
+		}
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"m2m/internal/graph"
+	"m2m/internal/plan"
+	"m2m/internal/routing"
+)
+
+// NodeTables is the decoded form of one node's dissemination blob — what
+// the mote reconstructs on receipt. PreAgg entries carry the fixed-point
+// quantized weight.
+type NodeTables struct {
+	Raw      []plan.RawEntry
+	PreAgg   []PreAggWeight
+	Partial  []plan.PartialEntry
+	Outgoing []plan.OutgoingEntry
+}
+
+// PreAggWeight is a decoded pre-aggregation entry including its weight.
+type PreAggWeight struct {
+	Source, Dest graph.NodeID
+	Weight       float64
+}
+
+// DecodeNodeTables parses a blob produced by EncodeNodeTables for node n.
+func DecodeNodeTables(n graph.NodeID, b []byte) (*NodeTables, error) {
+	t := &NodeTables{}
+	read16 := func() (uint16, error) {
+		if len(b) < 2 {
+			return 0, fmt.Errorf("wire: truncated blob for node %d", n)
+		}
+		v := binary.BigEndian.Uint16(b)
+		b = b[2:]
+		return v, nil
+	}
+	read32 := func() (uint32, error) {
+		if len(b) < 4 {
+			return 0, fmt.Errorf("wire: truncated blob for node %d", n)
+		}
+		v := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		return v, nil
+	}
+	read8 := func() (byte, error) {
+		if len(b) < 1 {
+			return 0, fmt.Errorf("wire: truncated blob for node %d", n)
+		}
+		v := b[0]
+		b = b[1:]
+		return v, nil
+	}
+
+	nRaw, err := read16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nRaw); i++ {
+		src, err := read16()
+		if err != nil {
+			return nil, err
+		}
+		to, err := read16()
+		if err != nil {
+			return nil, err
+		}
+		t.Raw = append(t.Raw, plan.RawEntry{
+			Source: graph.NodeID(src),
+			Out:    routing.Edge{From: n, To: graph.NodeID(to)},
+		})
+	}
+
+	nPre, err := read16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nPre); i++ {
+		src, err := read16()
+		if err != nil {
+			return nil, err
+		}
+		dst, err := read16()
+		if err != nil {
+			return nil, err
+		}
+		w, err := read32()
+		if err != nil {
+			return nil, err
+		}
+		t.PreAgg = append(t.PreAgg, PreAggWeight{
+			Source: graph.NodeID(src),
+			Dest:   graph.NodeID(dst),
+			Weight: DecodeFixed(int32(w)),
+		})
+	}
+
+	nPart, err := read16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nPart); i++ {
+		dst, err := read16()
+		if err != nil {
+			return nil, err
+		}
+		inputs, err := read8()
+		if err != nil {
+			return nil, err
+		}
+		flags, err := read8()
+		if err != nil {
+			return nil, err
+		}
+		to, err := read16()
+		if err != nil {
+			return nil, err
+		}
+		e := plan.PartialEntry{
+			Dest:   graph.NodeID(dst),
+			Inputs: int(inputs),
+			Local:  flags&1 != 0,
+		}
+		if !e.Local {
+			e.Out = routing.Edge{From: n, To: graph.NodeID(to)}
+		}
+		t.Partial = append(t.Partial, e)
+	}
+
+	nOut, err := read16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nOut); i++ {
+		to, err := read16()
+		if err != nil {
+			return nil, err
+		}
+		units, err := read8()
+		if err != nil {
+			return nil, err
+		}
+		t.Outgoing = append(t.Outgoing, plan.OutgoingEntry{
+			Out:   routing.Edge{From: n, To: graph.NodeID(to)},
+			Units: int(units),
+		})
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes in blob for node %d", len(b), n)
+	}
+	return t, nil
+}

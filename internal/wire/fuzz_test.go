@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"testing"
+
+	"m2m/internal/plan"
+)
+
+// FuzzDecodeMessage hardens the decoder against arbitrary bytes: it must
+// either reject the input or return units that re-encode to a decodable
+// message — never panic or over-read.
+func FuzzDecodeMessage(f *testing.F) {
+	seed1, _ := EncodeMessage([]Unit{{Kind: plan.UnitRaw, Node: 3, Values: []float64{1.5}}})
+	seed2, _ := EncodeMessage([]Unit{
+		{Kind: plan.UnitAgg, Node: 9, Values: []float64{2, 3}},
+		{Kind: plan.UnitRaw, Node: 1, Values: []float64{-4}},
+	})
+	f.Add(seed1)
+	f.Add(seed2)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		units, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeMessage(units)
+		if err != nil {
+			t.Fatalf("decoded units failed to re-encode: %v", err)
+		}
+		again, err := DecodeMessage(re)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		if len(again) != len(units) {
+			t.Fatalf("unit count changed across round trip: %d vs %d", len(again), len(units))
+		}
+	})
+}

@@ -1,0 +1,243 @@
+// Package m2m implements many-to-many aggregation for wireless sensor
+// networks, reproducing Silberstein & Yang, "Many-to-Many Aggregation for
+// Sensor Networks" (ICDE 2007).
+//
+// A workload assigns each destination node an aggregation function over a
+// set of source nodes (sources and destinations overlap arbitrarily). The
+// planner minimizes radio energy by deciding, independently for every
+// multicast edge, which values cross it raw (multicast-style, reusable by
+// many destinations) and which cross as destination-specific partial
+// aggregate records (in-network aggregation) — an exact weighted bipartite
+// vertex cover per edge, assembled into a globally consistent plan
+// (Theorem 1 of the paper).
+//
+// Typical use:
+//
+//	net := m2m.GreatDuckIsland()
+//	specs := []m2m.Spec{{Dest: 5, Func: m2m.NewWeightedSum(weights)}}
+//	inst, _ := net.NewInstance(specs, m2m.RouterReversePath)
+//	p, _ := m2m.Optimize(inst)
+//	res, _ := m2m.Execute(p, net, readings)
+//	fmt.Println(res.Values[5], res.EnergyJ)
+//
+// The subsystems live in internal/ packages: topology, routing, the vertex
+// cover solver, the aggregation framework, the planner, and the execution
+// engine. This package is the stable facade over them.
+package m2m
+
+import (
+	"fmt"
+	"io"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+	"m2m/internal/plan"
+	"m2m/internal/radio"
+	"m2m/internal/routing"
+	"m2m/internal/sim"
+	"m2m/internal/specfile"
+	"m2m/internal/topology"
+	"m2m/internal/workload"
+)
+
+// NodeID identifies a sensor node.
+type NodeID = graph.NodeID
+
+// Spec binds a destination node to its aggregation function.
+type Spec = agg.Spec
+
+// Func is an aggregation function (generalized algebraic aggregate).
+type Func = agg.Func
+
+// Record is a constant-size partial aggregate record.
+type Record = agg.Record
+
+// Instance is a resolved optimization input (network + workload + routes).
+type Instance = plan.Instance
+
+// Plan is a global many-to-many aggregation plan.
+type Plan = plan.Plan
+
+// Tables is the per-node runtime state of a plan (Section 3's four tables).
+type Tables = plan.Tables
+
+// UpdateStats quantifies an incremental re-optimization.
+type UpdateStats = plan.UpdateStats
+
+// RoundResult reports one executed round.
+type RoundResult = sim.RoundResult
+
+// FloodResult reports one flooded round.
+type FloodResult = sim.FloodResult
+
+// SuppressionRound reports one temporally suppressed round.
+type SuppressionRound = sim.SuppressionRound
+
+// Suppressor executes a plan in temporal-suppression mode.
+type Suppressor = sim.Suppressor
+
+// Policy selects an override heuristic for suppression.
+type Policy = sim.Policy
+
+// RadioModel is the per-byte energy model of the motes.
+type RadioModel = radio.Model
+
+// Override policies (Section 3).
+const (
+	PolicyNone         = sim.PolicyNone
+	PolicyConservative = sim.PolicyConservative
+	PolicyMedium       = sim.PolicyMedium
+	PolicyAggressive   = sim.PolicyAggressive
+)
+
+// Aggregation constructors re-exported from the framework.
+var (
+	NewWeightedSum     = agg.NewWeightedSum
+	NewWeightedAverage = agg.NewWeightedAverage
+	NewWeightedStdDev  = agg.NewWeightedStdDev
+	NewMin             = agg.NewMin
+	NewMax             = agg.NewMax
+	NewRange           = agg.NewRange
+	NewCountAbove      = agg.NewCountAbove
+)
+
+// RouterKind selects the routing strategy for an instance.
+type RouterKind int
+
+// Available routers.
+const (
+	// RouterReversePath routes every pair along destination-rooted
+	// shortest-path trees (the sensor-network standard; the planner may
+	// apply counted consistency repairs).
+	RouterReversePath RouterKind = iota
+	// RouterSharedTree routes inside one global spanning tree, satisfying
+	// both of the paper's routing restrictions so Theorem 1 applies with
+	// zero repairs.
+	RouterSharedTree
+	// RouterSourceSPT is the paper's literal per-source shortest-path-tree
+	// construction. It can violate the per-destination suffix property the
+	// planner requires, in which case NewInstance returns a diagnostic
+	// error; prefer RouterReversePath or RouterSharedTree.
+	RouterSourceSPT
+)
+
+// Network bundles node placement, radio connectivity, and the energy
+// model.
+type Network struct {
+	Layout *topology.Layout
+	Graph  *graph.Undirected
+	Radio  radio.Model
+}
+
+// newNetwork derives connectivity from a layout under the default radio.
+func newNetwork(l *topology.Layout) *Network {
+	model := radio.DefaultModel()
+	return &Network{
+		Layout: l,
+		Graph:  l.ConnectivityGraph(model.RangeMeters),
+		Radio:  model,
+	}
+}
+
+// GreatDuckIsland returns the paper's evaluation network: 68 nodes in a
+// 106×203 m² area with 50 m radio range (synthetic coordinates; see
+// DESIGN.md §4).
+func GreatDuckIsland() *Network { return newNetwork(topology.GreatDuckIsland()) }
+
+// RandomNetwork returns n uniformly placed nodes at Great-Duck-Island
+// density, repaired to be connected.
+func RandomNetwork(n int, seed int64) *Network { return newNetwork(topology.Scaled(n, seed)) }
+
+// GridNetwork returns an nx × ny lattice with the given spacing in meters.
+func GridNetwork(nx, ny int, spacing float64) *Network {
+	return newNetwork(topology.Grid(nx, ny, spacing))
+}
+
+// Len returns the node count.
+func (n *Network) Len() int { return n.Graph.Len() }
+
+// NewInstance resolves routes for the workload under the chosen router.
+func (n *Network) NewInstance(specs []Spec, kind RouterKind) (*Instance, error) {
+	var router routing.Router
+	switch kind {
+	case RouterReversePath:
+		router = routing.NewReversePath(n.Graph)
+	case RouterSharedTree:
+		st, err := routing.NewSharedTree(n.Graph)
+		if err != nil {
+			return nil, err
+		}
+		router = st
+	case RouterSourceSPT:
+		router = routing.NewSourceSPT(n.Graph)
+	default:
+		return nil, fmt.Errorf("m2m: unknown router kind %d", kind)
+	}
+	return plan.NewInstance(n.Graph, router, specs)
+}
+
+// WorkloadConfig parameterizes random workload generation (the paper's
+// evaluation workloads).
+type WorkloadConfig = workload.Config
+
+// GenerateWorkload draws a random workload over the network (see
+// workload.Config for the dispersion semantics).
+func (n *Network) GenerateWorkload(cfg WorkloadConfig) ([]Spec, error) {
+	return workload.Generate(n.Graph, cfg)
+}
+
+// ParseWorkload reads a workload from the textual format documented in
+// internal/specfile: `<dest> = <kind>(<src>[:<weight>], ...) [@ <thr>]`.
+func ParseWorkload(r io.Reader) ([]Spec, error) { return specfile.Parse(r) }
+
+// FormatWorkload writes specs in the same textual format ParseWorkload
+// reads.
+func FormatWorkload(w io.Writer, specs []Spec) error { return specfile.Format(w, specs) }
+
+// Optimize computes the paper's optimal plan (per-edge vertex covers with
+// the canonical tiebreak, assembled per Theorem 1).
+func Optimize(inst *Instance) (*Plan, error) { return plan.Optimize(inst) }
+
+// Multicast returns the pure-multicast baseline plan.
+func Multicast(inst *Instance) *Plan { return plan.Multicast(inst) }
+
+// AggregateASAP returns the pure in-network aggregation baseline plan.
+func AggregateASAP(inst *Instance) *Plan { return plan.AggregateASAP(inst) }
+
+// Reoptimize incrementally replans after a workload change, reusing every
+// unchanged single-edge solution (Corollary 1).
+func Reoptimize(old *Plan, inst *Instance) (*Plan, *UpdateStats, error) {
+	return plan.Reoptimize(old, inst)
+}
+
+// Execute runs one round of p on net with the given readings, returning
+// the destinations' exact aggregates and the round's communication cost.
+func Execute(p *Plan, net *Network, readings map[NodeID]float64) (*RoundResult, error) {
+	eng, err := sim.NewEngine(p, net.Radio, sim.Options{MergeMessages: true})
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run(readings)
+}
+
+// Flood runs the paper's flood baseline for one round.
+func Flood(net *Network, specs []Spec, readings map[NodeID]float64) (*FloodResult, error) {
+	return sim.Flood(net.Graph, specs, net.Radio, readings)
+}
+
+// OutOfNetworkResult reports one round of base-station-mediated control.
+type OutOfNetworkResult = sim.OutOfNetworkResult
+
+// OutOfNetwork runs the introduction's strawman for one round: sources
+// report to a base station, which computes and returns all control
+// signals.
+func OutOfNetwork(net *Network, specs []Spec, base NodeID, readings map[NodeID]float64) (*OutOfNetworkResult, error) {
+	return sim.OutOfNetwork(net.Graph, specs, net.Radio, base, readings)
+}
+
+// NewSuppressor prepares temporal-suppression execution of p under the
+// given override policy. All aggregation functions must be linear
+// (weighted sums).
+func NewSuppressor(p *Plan, net *Network, policy Policy) (*Suppressor, error) {
+	return sim.NewSuppressor(p, net.Radio, policy)
+}

@@ -1,0 +1,170 @@
+package m2m
+
+import (
+	"fmt"
+
+	"m2m/internal/control"
+	"m2m/internal/graph"
+	"m2m/internal/readings"
+	"m2m/internal/sim"
+)
+
+// Controller maps one destination's control signal to a sampling rate
+// with hysteresis (the paper's in-network control loop).
+type Controller = control.Controller
+
+// ControllerBank manages one Controller per controlled node and accounts
+// sensing energy.
+type ControllerBank = control.Bank
+
+// NewControllerBank returns an empty bank with the given per-sample
+// sensing energy.
+func NewControllerBank(sampleJoules float64) *ControllerBank {
+	return control.NewBank(sampleJoules)
+}
+
+// ReadingGenerator produces one reading per node per round (see the
+// constructors below).
+type ReadingGenerator = readings.Generator
+
+// Reading stream constructors re-exported for continuous sessions.
+var (
+	// NewConstantReadings yields the same value everywhere forever.
+	NewConstantReadings = readings.NewConstant
+	// NewRandomWalkReadings evolves each node by Gaussian steps.
+	NewRandomWalkReadings = readings.NewRandomWalk
+	// NewDiurnalReadings models a day/night cycle.
+	NewDiurnalReadings = readings.NewDiurnal
+	// NewPulseReadings changes each node with a fixed probability per
+	// round (the Figure 7 change model).
+	NewPulseReadings = readings.NewPulse
+)
+
+// Session runs a plan continuously: a bootstrap round computes every
+// aggregate from scratch, then temporal suppression (Section 3) transmits
+// only meaningful deltas each round, maintaining the destination values
+// incrementally. All aggregation functions must be linear.
+type Session struct {
+	net       *Network
+	plan      *Plan
+	engine    *sim.Engine
+	sup       *Suppressor
+	gen       ReadingGenerator
+	threshold float64
+
+	round   int
+	prev    map[NodeID]float64
+	values  map[NodeID]float64
+	totalJ  float64
+	changed int
+}
+
+// SessionStep reports one executed round.
+type SessionStep struct {
+	// Round is the 0-based round index (round 0 is the bootstrap).
+	Round int
+	// Values holds every destination's current aggregate.
+	Values map[NodeID]float64
+	// EnergyJ is this round's communication energy.
+	EnergyJ float64
+	// Changed is how many sources transmitted this round.
+	Changed int
+}
+
+// NewSession prepares continuous execution of p over the reading stream.
+// Changes with magnitude at or below threshold are suppressed.
+func NewSession(p *Plan, net *Network, policy Policy, gen ReadingGenerator, threshold float64) (*Session, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("m2m: nil reading generator")
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("m2m: negative suppression threshold")
+	}
+	eng, err := sim.NewEngine(p, net.Radio, sim.Options{MergeMessages: true})
+	if err != nil {
+		return nil, err
+	}
+	sup, err := sim.NewSuppressor(p, net.Radio, policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		net:       net,
+		plan:      p,
+		engine:    eng,
+		sup:       sup,
+		gen:       gen,
+		threshold: threshold,
+	}, nil
+}
+
+// Step executes the next round and returns its report.
+func (s *Session) Step() (*SessionStep, error) {
+	cur := s.gen.Next()
+	step := &SessionStep{Round: s.round}
+	if s.round == 0 {
+		// Bootstrap: full in-network evaluation.
+		res, err := s.engine.Run(cur)
+		if err != nil {
+			return nil, err
+		}
+		s.values = make(map[graph.NodeID]float64, len(res.Values))
+		for d, v := range res.Values {
+			s.values[d] = v
+		}
+		step.EnergyJ = res.EnergyJ
+		step.Changed = len(cur)
+	} else {
+		deltas := readings.Deltas(s.prev, cur, s.threshold)
+		r, err := s.sup.Round(deltas)
+		if err != nil {
+			return nil, err
+		}
+		for d, dv := range r.DeltaValues {
+			s.values[d] += dv
+		}
+		step.EnergyJ = r.EnergyJ
+		step.Changed = len(deltas)
+	}
+	// Suppressed sources keep their last-transmitted reading as the
+	// network-visible state.
+	if s.prev == nil {
+		s.prev = make(map[NodeID]float64, len(cur))
+	}
+	if s.round == 0 {
+		for n, v := range cur {
+			s.prev[n] = v
+		}
+	} else {
+		for n, v := range cur {
+			if d := v - s.prev[n]; d > s.threshold || d < -s.threshold {
+				s.prev[n] = v
+			}
+		}
+	}
+
+	step.Values = make(map[NodeID]float64, len(s.values))
+	for d, v := range s.values {
+		step.Values[d] = v
+	}
+	s.totalJ += step.EnergyJ
+	s.changed += step.Changed
+	s.round++
+	return step, nil
+}
+
+// Rounds returns how many rounds have executed.
+func (s *Session) Rounds() int { return s.round }
+
+// TotalEnergyJ returns the session's accumulated communication energy.
+func (s *Session) TotalEnergyJ() float64 { return s.totalJ }
+
+// LifetimeRounds estimates rounds until the first node dies if every
+// round cost the full (unsuppressed) plan energy — a conservative bound.
+func (s *Session) LifetimeRounds(batteryJ float64) (int, NodeID, error) {
+	res, err := s.engine.Run(map[NodeID]float64{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return sim.LifetimeRounds(res.PerNodeJ, batteryJ)
+}
