@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short cover bench figures examples clean
+.PHONY: all check build vet test test-short race cover bench figures examples clean
 
-all: build vet test
+all: check
+
+# The default gate: compile, static checks, full tests, race-checked
+# short tests.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -17,6 +21,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+race:
+	$(GO) test -race -short ./...
 
 cover:
 	$(GO) test -cover ./...

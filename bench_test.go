@@ -86,6 +86,9 @@ func BenchmarkLinkLoss(b *testing.B) { benchExperiment(b, "loss") }
 // BenchmarkAdaptive regenerates the adaptive-override table.
 func BenchmarkAdaptive(b *testing.B) { benchExperiment(b, "adaptive") }
 
+// BenchmarkChaos regenerates the fault-injection degradation table.
+func BenchmarkChaos(b *testing.B) { benchExperiment(b, "chaos") }
+
 // --- Micro-benchmarks ---
 
 func evalInstance(b *testing.B, destFrac float64) *Instance {

@@ -7,6 +7,12 @@
 //	m2msim                                  # paper defaults on the GDI network
 //	m2msim -nodes 150 -dests 0.25 -sources 20 -dispersion 0.5
 //	m2msim -router shared -values
+//	m2msim -loss 0.1                        # lossy rounds at 10% per-attempt link loss
+//	m2msim -loss 0.05 -fail-node 12 -fail-round 2
+//
+// With -loss and/or -fail-node the optimal plan is additionally executed
+// on the lossy engine (stop-and-wait, 3 retries) under a seeded fault
+// injector, and per-round delivery outcomes are reported.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"m2m"
 	"m2m/internal/agg"
+	"m2m/internal/chaos"
 	"m2m/internal/plan"
 	"m2m/internal/sim"
 )
@@ -34,6 +41,9 @@ func main() {
 		values     = flag.Bool("values", false, "print computed destination values")
 		trace      = flag.Bool("trace", false, "print every message unit of the optimal plan's round")
 		wlFile     = flag.String("workload", "", "load the workload from a spec file instead of generating it")
+		loss       = flag.Float64("loss", 0, "uniform per-attempt link loss probability in [0,1); >0 runs the lossy engine")
+		failNode   = flag.Int("fail-node", -1, "node to crash permanently under fault injection (-1 = none)")
+		failRound  = flag.Int("fail-round", 0, "round at which -fail-node crashes")
 	)
 	flag.Parse()
 
@@ -146,6 +156,61 @@ func main() {
 		e, m, err := a.run()
 		check(err)
 		fmt.Printf("%-12s %11.2f mJ %10d\n", a.name, e*1e3, m)
+	}
+
+	if *loss > 0 || *failNode >= 0 {
+		runChaos(opt, net, readings, *seed, *loss, *failNode, *failRound)
+	}
+}
+
+// runChaos executes the optimal plan on the lossy engine under a seeded
+// fault injector and prints per-round delivery outcomes.
+func runChaos(opt *m2m.Plan, net *m2m.Network, readings map[m2m.NodeID]float64, seed int64, loss float64, failNode, failRound int) {
+	if loss < 0 || loss >= 1 {
+		fmt.Fprintf(os.Stderr, "m2msim: -loss %v outside [0,1)\n", loss)
+		os.Exit(2)
+	}
+	inj := chaos.New(seed)
+	if loss > 0 {
+		inj.WithUniformLoss(loss)
+	}
+	rounds := 1
+	if failNode >= 0 {
+		if failNode >= net.Len() {
+			fmt.Fprintf(os.Stderr, "m2msim: -fail-node %d outside the %d-node network\n", failNode, net.Len())
+			os.Exit(2)
+		}
+		if failRound < 0 {
+			fmt.Fprintf(os.Stderr, "m2msim: negative -fail-round %d\n", failRound)
+			os.Exit(2)
+		}
+		inj.Crash(m2m.NodeID(failNode), failRound)
+		rounds = failRound + 2 // watch at least one round past the crash
+	}
+	check(inj.Validate())
+	eng, err := sim.NewEngine(opt, net.Radio, sim.Options{MergeMessages: true})
+	check(err)
+
+	const retries = 3
+	fmt.Printf("\nfault injection (seed %d, loss %.3f, %d retries):\n", seed, loss, retries)
+	fmt.Printf("%-6s %14s %8s %8s %8s %7s %7s %7s\n",
+		"round", "energy", "tx", "retries", "dropped", "fresh", "stale", "starved")
+	for r := 0; r < rounds; r++ {
+		res, err := eng.RunLossy(r, readings, inj, retries)
+		check(err)
+		fresh, stale, starved := 0, 0, 0
+		for _, rep := range res.Reports {
+			switch {
+			case rep.Starved:
+				starved++
+			case rep.Fresh:
+				fresh++
+			default:
+				stale++
+			}
+		}
+		fmt.Printf("%-6d %11.2f mJ %8d %8d %8d %7d %7d %7d\n",
+			r, res.EnergyJ*1e3, res.Transmissions, res.Retries, res.Dropped, fresh, stale, starved)
 	}
 }
 

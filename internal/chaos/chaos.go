@@ -1,0 +1,187 @@
+// Package chaos is a deterministic, seedable fault injector for the
+// execution layer. It models the three failure classes of Section 3 as a
+// schedule the lossy executor queries per (round, edge):
+//
+//   - per-link stochastic packet loss, either uniform, from an explicit
+//     per-edge table, or derived from link distance via
+//     radio.LossForDistance (the gray-zone model);
+//   - transient link outages: a physical link is down for a configured
+//     window of rounds and every transmission in the window is lost;
+//   - permanent node crashes: from its crash round on, a node neither
+//     transmits, receives, nor samples.
+//
+// Every stochastic draw is a pure function of (seed, round, edge, attempt),
+// so outcomes are reproducible regardless of query order and identical
+// across re-runs — the property the self-healing soak tests rely on.
+package chaos
+
+import (
+	"fmt"
+
+	"m2m/internal/graph"
+	"m2m/internal/routing"
+)
+
+// link is an undirected physical link key (normalized endpoint order):
+// faults on a link affect both directed plan edges over it.
+type link struct {
+	a, b graph.NodeID
+}
+
+func linkOf(e routing.Edge) link {
+	if e.From <= e.To {
+		return link{e.From, e.To}
+	}
+	return link{e.To, e.From}
+}
+
+// Outage takes a physical link down for the half-open round window
+// [Start, Start+Rounds).
+type Outage struct {
+	Start  int
+	Rounds int
+}
+
+// Injector is a fault schedule. The zero value injects nothing; configure
+// it with the With/Add/Crash methods (all return the injector for
+// chaining) and hand it to the lossy executor, which consults it through
+// the Deliver/NodeDead schedule interface.
+type Injector struct {
+	seed    int64
+	loss    func(routing.Edge) float64
+	outages map[link][]Outage
+	crashes map[graph.NodeID]int
+}
+
+// New returns an empty injector whose stochastic draws derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		seed:    seed,
+		outages: make(map[link][]Outage),
+		crashes: make(map[graph.NodeID]int),
+	}
+}
+
+// WithLoss installs an explicit per-edge loss schedule. The function must
+// return a probability in [0, 1); it is queried per directed plan edge.
+func (in *Injector) WithLoss(fn func(routing.Edge) float64) *Injector {
+	in.loss = fn
+	return in
+}
+
+// WithUniformLoss makes every link lose packets independently with
+// probability p in [0, 1).
+func (in *Injector) WithUniformLoss(p float64) *Injector {
+	return in.WithLoss(func(routing.Edge) float64 { return p })
+}
+
+// WithDistanceLoss drives per-link loss from link length via the supplied
+// distance function and a gray-zone loss model (radio.LossForDistance is
+// the intended lossFor).
+func (in *Injector) WithDistanceLoss(dist func(routing.Edge) float64, lossFor func(d float64) float64) *Injector {
+	return in.WithLoss(func(e routing.Edge) float64 { return lossFor(dist(e)) })
+}
+
+// AddOutage schedules a transient outage of the physical link under e
+// (both directions) for rounds [start, start+rounds).
+func (in *Injector) AddOutage(e routing.Edge, start, rounds int) *Injector {
+	l := linkOf(e)
+	in.outages[l] = append(in.outages[l], Outage{Start: start, Rounds: rounds})
+	return in
+}
+
+// Crash schedules node n to fail permanently at the given round.
+func (in *Injector) Crash(n graph.NodeID, round int) *Injector {
+	if prev, ok := in.crashes[n]; !ok || round < prev {
+		in.crashes[n] = round
+	}
+	return in
+}
+
+// Validate rejects schedules the executor cannot price.
+func (in *Injector) Validate() error {
+	for n, r := range in.crashes {
+		if r < 0 {
+			return fmt.Errorf("chaos: node %d crash at negative round %d", n, r)
+		}
+	}
+	for l, outs := range in.outages {
+		for _, o := range outs {
+			if o.Start < 0 || o.Rounds <= 0 {
+				return fmt.Errorf("chaos: link %d—%d outage [%d,+%d) invalid", l.a, l.b, o.Start, o.Rounds)
+			}
+		}
+	}
+	return nil
+}
+
+// NodeDead reports whether n has permanently crashed by round r. A dead
+// node neither transmits, receives, nor samples, forever after.
+func (in *Injector) NodeDead(round int, n graph.NodeID) bool {
+	r, ok := in.crashes[n]
+	return ok && round >= r
+}
+
+// LinkDown reports whether the physical link under e is inside a scheduled
+// outage window in the given round.
+func (in *Injector) LinkDown(round int, e routing.Edge) bool {
+	for _, o := range in.outages[linkOf(e)] {
+		if round >= o.Start && round < o.Start+o.Rounds {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkLoss returns the stochastic loss probability configured for e.
+func (in *Injector) LinkLoss(e routing.Edge) float64 {
+	if in.loss == nil {
+		return 0
+	}
+	return in.loss(e)
+}
+
+// Deliver reports whether the attempt-th transmission of the given round
+// on e is heard by e.To. Outages drop deterministically; otherwise the
+// configured loss probability is applied with a draw that depends only on
+// (seed, round, edge, attempt). Endpoint liveness is not checked here —
+// the executor gates on NodeDead separately, because a transmission
+// toward a dead receiver still costs the sender energy.
+func (in *Injector) Deliver(round int, e routing.Edge, attempt int) bool {
+	if in.LinkDown(round, e) {
+		return false
+	}
+	p := in.LinkLoss(e)
+	if p <= 0 {
+		return true
+	}
+	return draw01(in.seed, round, e, attempt) >= p
+}
+
+// Crashes returns the scheduled (node, round) crash list, unordered.
+func (in *Injector) Crashes() map[graph.NodeID]int {
+	out := make(map[graph.NodeID]int, len(in.crashes))
+	for n, r := range in.crashes {
+		out[n] = r
+	}
+	return out
+}
+
+// draw01 hashes (seed, round, edge, attempt) to a uniform float64 in
+// [0, 1) using splitmix64 finalization — stateless, so outcomes cannot
+// depend on the order in which the executor asks.
+func draw01(seed int64, round int, e routing.Edge, attempt int) float64 {
+	x := uint64(seed)
+	x = mix(x ^ uint64(round)*0x9e3779b97f4a7c15)
+	x = mix(x ^ uint64(e.From)*0xbf58476d1ce4e5b9)
+	x = mix(x ^ uint64(e.To)*0x94d049bb133111eb)
+	x = mix(x ^ uint64(attempt)*0xd6e8feb86659fd93)
+	return float64(x>>11) / (1 << 53)
+}
+
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,160 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+
+	"m2m/internal/graph"
+	"m2m/internal/radio"
+	"m2m/internal/routing"
+)
+
+func TestZeroValueInjectsNothing(t *testing.T) {
+	in := New(7)
+	e := routing.Edge{From: 3, To: 4}
+	for r := 0; r < 10; r++ {
+		if !in.Deliver(r, e, 0) {
+			t.Fatalf("empty injector dropped round %d", r)
+		}
+		if in.NodeDead(r, 3) || in.LinkDown(r, e) {
+			t.Fatalf("empty injector faulted round %d", r)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Injector { return New(42).WithUniformLoss(0.5) }
+	a, b := mk(), mk()
+	e := routing.Edge{From: 1, To: 2}
+	for r := 0; r < 50; r++ {
+		for att := 0; att < 4; att++ {
+			if a.Deliver(r, e, att) != b.Deliver(r, e, att) {
+				t.Fatalf("same seed diverged at round %d attempt %d", r, att)
+			}
+		}
+	}
+	// Different seeds must diverge somewhere.
+	c := New(43).WithUniformLoss(0.5)
+	same := true
+	for r := 0; r < 50 && same; r++ {
+		if a.Deliver(r, e, 0) != c.Deliver(r, e, 0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical outcomes")
+	}
+}
+
+func TestLossRateStatistics(t *testing.T) {
+	in := New(1).WithUniformLoss(0.3)
+	e := routing.Edge{From: 0, To: 1}
+	drops := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if !in.Deliver(i, e, 0) {
+			drops++
+		}
+	}
+	got := float64(drops) / n
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("empirical loss %.3f, want ≈0.30", got)
+	}
+}
+
+func TestAttemptsAreIndependentDraws(t *testing.T) {
+	in := New(5).WithUniformLoss(0.5)
+	e := routing.Edge{From: 2, To: 9}
+	varies := false
+	for r := 0; r < 20 && !varies; r++ {
+		if in.Deliver(r, e, 0) != in.Deliver(r, e, 1) {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Error("retry attempts never change the outcome")
+	}
+}
+
+func TestOutageWindow(t *testing.T) {
+	e := routing.Edge{From: 4, To: 7}
+	rev := routing.Edge{From: 7, To: 4}
+	in := New(0).AddOutage(e, 3, 2)
+	for r := 0; r < 8; r++ {
+		want := r == 3 || r == 4
+		if in.LinkDown(r, e) != want {
+			t.Errorf("round %d: LinkDown = %v, want %v", r, !want, want)
+		}
+		// Outages are physical: the reverse direction is down too.
+		if in.LinkDown(r, rev) != want {
+			t.Errorf("round %d: reverse direction not symmetric", r)
+		}
+		if want && in.Deliver(r, e, 0) {
+			t.Errorf("round %d: delivery through an outage", r)
+		}
+	}
+}
+
+func TestCrashIsPermanent(t *testing.T) {
+	in := New(0).Crash(6, 4)
+	for r := 0; r < 10; r++ {
+		if in.NodeDead(r, 6) != (r >= 4) {
+			t.Errorf("round %d: NodeDead = %v", r, in.NodeDead(r, 6))
+		}
+		if in.NodeDead(r, 5) {
+			t.Errorf("round %d: wrong node dead", r)
+		}
+	}
+	// Earliest crash round wins on duplicates.
+	in.Crash(6, 2)
+	if !in.NodeDead(2, 6) {
+		t.Error("earlier crash round ignored")
+	}
+	in.Crash(6, 9)
+	if !in.NodeDead(2, 6) {
+		t.Error("later duplicate crash overwrote the earlier round")
+	}
+}
+
+func TestDistanceLoss(t *testing.T) {
+	// Edge length drives loss through the gray-zone model: a short link is
+	// perfect, a full-range link lossy.
+	dist := func(e routing.Edge) float64 {
+		if e.From == 0 {
+			return 10
+		}
+		return 49
+	}
+	in := New(3).WithDistanceLoss(dist, func(d float64) float64 {
+		return radio.LossForDistance(d, 50, 0.5)
+	})
+	short := routing.Edge{From: 0, To: 1}
+	long := routing.Edge{From: 1, To: 2}
+	if got := in.LinkLoss(short); got != 0 {
+		t.Errorf("short link loss = %v, want 0", got)
+	}
+	if got := in.LinkLoss(long); got <= 0.3 {
+		t.Errorf("long link loss = %v, want near max", got)
+	}
+	for r := 0; r < 20; r++ {
+		if !in.Deliver(r, short, 0) {
+			t.Fatal("perfect link dropped")
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New(0).Crash(1, -1).Validate(); err == nil {
+		t.Error("negative crash round accepted")
+	}
+	if err := New(0).AddOutage(routing.Edge{From: 0, To: 1}, 0, 0).Validate(); err == nil {
+		t.Error("zero-length outage accepted")
+	}
+	ok := New(0).Crash(1, 3).AddOutage(routing.Edge{From: 0, To: 1}, 2, 4)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	if ok.Crashes()[graph.NodeID(1)] != 3 {
+		t.Error("Crashes() lost the schedule")
+	}
+}

@@ -165,6 +165,7 @@ func All() []Runner {
 		{ID: "override-state", Paper: "Section 3 (flexible override alternative)", Run: OverrideState},
 		{ID: "loss", Paper: "Section 3 (route stability; ARQ under link loss)", Run: LinkLoss},
 		{ID: "adaptive", Paper: "Section 4 summary (volatility-adaptive override)", Run: Adaptive},
+		{ID: "chaos", Paper: "robustness extension (fault injection & recovery)", Run: Chaos},
 	}
 }
 

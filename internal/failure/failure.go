@@ -39,7 +39,9 @@ func RemoveNode(g *graph.Undirected, n graph.NodeID) (*graph.Undirected, error) 
 // PruneSpecs removes a dead node from the workload: its own aggregation
 // function (if it was a destination) is dropped, and it is removed as a
 // source from every function. Functions that lose their last source are
-// dropped too; Dropped reports how many.
+// dropped too; Dropped reports how many. Pruning that leaves no workload
+// at all is an error — there is nothing left to plan for, and callers
+// that would feed the result to the planner need to stop instead.
 func PruneSpecs(specs []agg.Spec, dead graph.NodeID) (pruned []agg.Spec, dropped int, err error) {
 	for _, sp := range specs {
 		if sp.Dest == dead {
@@ -58,6 +60,9 @@ func PruneSpecs(specs []agg.Spec, dead graph.NodeID) (pruned []agg.Spec, dropped
 		}
 		pruned = append(pruned, agg.Spec{Dest: sp.Dest, Func: f})
 	}
+	if len(pruned) == 0 {
+		return nil, dropped, fmt.Errorf("failure: pruning node %d leaves an empty workload", dead)
+	}
 	return pruned, dropped, nil
 }
 
@@ -66,6 +71,11 @@ func PruneSpecs(specs []agg.Spec, dead graph.NodeID) (pruned []agg.Spec, dropped
 // routing this is what the communication layer pays to ride out a
 // transient failure between two milestones without replanning.
 func DetourHops(g *graph.Undirected, u, v graph.NodeID, failedU, failedV graph.NodeID) (int, error) {
+	for _, n := range []graph.NodeID{u, v, failedU, failedV} {
+		if int(n) < 0 || int(n) >= g.Len() {
+			return 0, fmt.Errorf("failure: node %d out of range", n)
+		}
+	}
 	c, err := RemoveLink(g, failedU, failedV)
 	if err != nil {
 		return 0, err
@@ -80,6 +90,11 @@ func DetourHops(g *graph.Undirected, u, v graph.NodeID, failedU, failedV graph.N
 
 // Critical reports whether removing the link u—v disconnects the network.
 func Critical(g *graph.Undirected, u, v graph.NodeID) (bool, error) {
+	for _, n := range []graph.NodeID{u, v} {
+		if int(n) < 0 || int(n) >= g.Len() {
+			return false, fmt.Errorf("failure: node %d out of range", n)
+		}
+	}
 	c, err := RemoveLink(g, u, v)
 	if err != nil {
 		return false, err

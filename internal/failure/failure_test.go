@@ -87,6 +87,21 @@ func TestPruneSpecs(t *testing.T) {
 	}
 }
 
+func TestPruneSpecsEmptyWorkload(t *testing.T) {
+	w := map[graph.NodeID]float64{2: 1}
+	specs := []agg.Spec{
+		{Dest: 5, Func: agg.NewWeightedSum(w)}, // loses its only source
+		{Dest: 2, Func: agg.NewWeightedSum(map[graph.NodeID]float64{1: 1})}, // destination dies
+	}
+	pruned, dropped, err := PruneSpecs(specs, 2)
+	if err == nil {
+		t.Fatalf("empty pruned workload accepted: %v", pruned)
+	}
+	if dropped != 2 {
+		t.Errorf("dropped = %d, want 2", dropped)
+	}
+}
+
 func TestRebuildAllFuncKinds(t *testing.T) {
 	srcs := []graph.NodeID{1, 2, 3}
 	w := map[graph.NodeID]float64{1: 0.5, 2: 1.5, 3: 2.5}
@@ -135,6 +150,73 @@ func TestDetourHops(t *testing.T) {
 	line.AddEdge(1, 2, 1)
 	if _, err := DetourHops(line, 0, 2, 0, 1); err == nil {
 		t.Error("impossible detour accepted")
+	}
+}
+
+func TestDetourHopsBridgeLink(t *testing.T) {
+	// Two triangles joined by the bridge 2—3: failing the bridge leaves no
+	// route across, while failing an in-triangle link detours in 2 hops.
+	g := graph.NewUndirected(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(5, 3, 1)
+	g.AddEdge(2, 3, 1)
+	if crit, err := Critical(g, 2, 3); err != nil || !crit {
+		t.Fatalf("bridge not critical: %v %v", crit, err)
+	}
+	if _, err := DetourHops(g, 2, 3, 2, 3); err == nil {
+		t.Error("detour across a failed bridge accepted")
+	}
+	// Traffic within one side still detours around its failed link.
+	h, err := DetourHops(g, 0, 1, 0, 1)
+	if err != nil || h != 2 {
+		t.Errorf("in-triangle detour = %d, %v; want 2 hops", h, err)
+	}
+}
+
+func TestDetourHopsLastRemainingPath(t *testing.T) {
+	// A 4-cycle with one chord removed step by step: once 0—1 and 0—3 are
+	// the only links at node 0, failing 0—1 forces the unique remaining
+	// path through 3; failing that too disconnects 0 entirely.
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	h, err := DetourHops(g, 0, 1, 0, 1)
+	if err != nil || h != 3 {
+		t.Fatalf("cycle detour = %d, %v; want 3 (the long way around)", h, err)
+	}
+	// Sever the long way: the detour that existed is gone.
+	if !g.RemoveEdge(2, 3) {
+		t.Fatal("setup: missing edge 2—3")
+	}
+	if _, err := DetourHops(g, 0, 1, 0, 1); err == nil {
+		t.Error("detour around the last remaining path accepted")
+	}
+}
+
+func TestDetourHopsAndCriticalOutOfRange(t *testing.T) {
+	g := graph.NewUndirected(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	if _, err := DetourHops(g, 0, 9, 0, 1); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if _, err := DetourHops(g, -1, 2, 0, 1); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if _, err := DetourHops(g, 0, 2, 7, 8); err == nil {
+		t.Error("out-of-range failed link accepted")
+	}
+	if _, err := Critical(g, 0, 9); err == nil {
+		t.Error("Critical accepted out-of-range node")
+	}
+	if _, err := Critical(g, -2, 1); err == nil {
+		t.Error("Critical accepted negative node")
 	}
 }
 

@@ -100,6 +100,9 @@ func NewEngine(p *plan.Plan, model radio.Model, opts Options) (*Engine, error) {
 	}
 	e.order = order
 	e.buildMessages(opts.MergeMessages)
+	if err := e.orderMessages(); err != nil {
+		return nil, err
+	}
 	if opts.Broadcast {
 		if opts.EdgeHops != nil {
 			return nil, fmt.Errorf("sim: Broadcast and EdgeHops are incompatible")
@@ -300,6 +303,12 @@ func (e *Engine) RunObserved(readings map[graph.NodeID]float64, obs Observer) (*
 		PerNodeJ:   e.perNodeJ,
 	}, nil
 }
+
+// PerNodeEnergy returns each node's precomputed share of one full round's
+// energy under the engine's options. The map is owned by the engine; treat
+// it as read-only. It is reading-independent, so lifetime estimates can
+// use it without executing a round.
+func (e *Engine) PerNodeEnergy() map[graph.NodeID]float64 { return e.perNodeJ }
 
 // assembleRecord merges destination d's contributions at node n. For a
 // transmitted record, out is the carrying edge (contributions are the

@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+	"m2m/internal/plan"
+	"m2m/internal/routing"
+)
+
+// Faults is the fault schedule the lossy executor queries while a round
+// runs (chaos.Injector implements it). Both methods must be deterministic
+// in their arguments so repeated rounds are reproducible.
+type Faults interface {
+	// NodeDead reports whether n has permanently crashed by the given
+	// round. A dead node neither transmits, receives, nor samples.
+	NodeDead(round int, n graph.NodeID) bool
+	// Deliver reports whether the attempt-th transmission of the round on
+	// e is heard by e.To (liveness of the endpoints is gated separately).
+	Deliver(round int, e routing.Edge, attempt int) bool
+}
+
+// noFaults is the identity schedule: every transmission arrives.
+type noFaults struct{}
+
+func (noFaults) NodeDead(int, graph.NodeID) bool     { return false }
+func (noFaults) Deliver(int, routing.Edge, int) bool { return true }
+
+// DeliveryReport describes how well one destination was served by a lossy
+// round: exactly (fresh), over partial source coverage (stale), or not at
+// all (starved).
+type DeliveryReport struct {
+	// Dest is the destination node.
+	Dest graph.NodeID
+	// Fresh is true when every source of f_d reached the destination and
+	// the reported value is exact.
+	Fresh bool
+	// Covered lists the sources whose readings made it into the value,
+	// ascending. Missing lists the rest.
+	Covered []graph.NodeID
+	Missing []graph.NodeID
+	// Starved is true when no source reached the destination at all (no
+	// value was produced this round).
+	Starved bool
+	// DestDead is true when the destination itself has crashed; such a
+	// destination is also reported as starved.
+	DestDead bool
+}
+
+// EdgeOutcome is the observable fate of one planned message: how many
+// times its sender transmitted, whether it ultimately arrived, and the
+// payload it carried. Attempts == 0 means the sender never transmitted at
+// all — under the keep-alive convention only a dead sender is silent, so
+// silence implicates the tail while exhausted retries implicate the head.
+type EdgeOutcome struct {
+	Edge      routing.Edge
+	Attempts  int
+	Delivered bool
+	BodyBytes int
+}
+
+// LossyResult reports one round executed under a fault schedule.
+type LossyResult struct {
+	// Values holds the computed aggregate of every destination that
+	// received at least one source (exact only where Reports[d].Fresh).
+	Values map[graph.NodeID]float64
+	// Reports holds the per-destination delivery report.
+	Reports map[graph.NodeID]*DeliveryReport
+	// Outcomes lists every planned message's fate, in transmission order.
+	Outcomes []EdgeOutcome
+	// EnergyJ is the round's total radio energy, including every failed
+	// retransmission.
+	EnergyJ float64
+	// PerNodeJ is each node's share (TX at senders per attempt, RX at the
+	// receiver of the successful attempt). Treat as read-only.
+	PerNodeJ map[graph.NodeID]float64
+	// Messages is the number of planned messages; Transmissions counts
+	// physical attempts (≥ delivered messages), Retries the extra
+	// attempts beyond the first, and Dropped the planned messages that
+	// never arrived.
+	Messages      int
+	Transmissions int
+	Retries       int
+	Dropped       int
+}
+
+// RunLossy executes one round in which messages actually drop: each
+// planned message is transmitted under stop-and-wait ARQ with at most
+// maxRetries retransmissions, every attempt is charged to the sender, and
+// only delivered payloads propagate. A node with nothing to forward still
+// sends its planned message empty (a header-only keep-alive), so the only
+// silent senders are dead ones — the property failure detectors rely on.
+// Partial aggregates cover whatever sources arrived; the per-destination
+// reports say which values are exact, partial, or missing.
+//
+// With a nil or fault-free schedule the round is byte-identical to Run:
+// same values, same total and per-node energy.
+func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults Faults, maxRetries int) (*LossyResult, error) {
+	if maxRetries < 0 {
+		return nil, fmt.Errorf("sim: negative retry budget %d", maxRetries)
+	}
+	if faults == nil {
+		faults = noFaults{}
+	}
+	inst := e.Plan.Inst
+	rawVal := make(map[nodeSource]float64)
+	recVal := make(map[nodeDest]agg.Record)
+	cov := make(map[nodeDest]map[graph.NodeID]bool)
+	for _, s := range inst.Sources() {
+		if !faults.NodeDead(round, s) {
+			rawVal[nodeSource{node: s, source: s}] = readings[s]
+		}
+	}
+
+	res := &LossyResult{
+		Values:   make(map[graph.NodeID]float64, len(inst.SpecByDest)),
+		Reports:  make(map[graph.NodeID]*DeliveryReport, len(inst.SpecByDest)),
+		PerNodeJ: make(map[graph.NodeID]float64),
+		Messages: len(e.messages),
+	}
+	attemptSeq := make(map[routing.Edge]int)
+
+	for _, msg := range e.messages {
+		edge := e.units[msg[0]].Edge
+		out := EdgeOutcome{Edge: edge}
+		if faults.NodeDead(round, edge.From) {
+			// Dead sender: silence, no energy anywhere.
+			res.Dropped++
+			res.Outcomes = append(res.Outcomes, out)
+			continue
+		}
+
+		// Gather the units whose content is available at the sender.
+		type carriedRaw struct {
+			src graph.NodeID
+			val float64
+		}
+		type carriedRec struct {
+			dest graph.NodeID
+			rec  agg.Record
+			cov  map[graph.NodeID]bool
+		}
+		var raws []carriedRaw
+		var recs []carriedRec
+		body := 0
+		for _, ui := range msg {
+			u := e.units[ui]
+			switch u.Kind {
+			case plan.UnitRaw:
+				if v, ok := rawVal[nodeSource{node: edge.From, source: u.Node}]; ok {
+					raws = append(raws, carriedRaw{src: u.Node, val: v})
+					body += e.Plan.Bytes(u)
+				}
+			default:
+				rec, cv, err := e.assembleLossy(edge.From, u.Node, edge, rawVal, recVal, cov)
+				if err != nil {
+					return nil, err
+				}
+				if rec != nil {
+					recs = append(recs, carriedRec{dest: u.Node, rec: rec, cov: cv})
+					body += e.Plan.Bytes(u)
+				}
+			}
+		}
+		out.BodyBytes = body
+
+		// Stop-and-wait: transmit until delivered or the budget runs out.
+		// A lost attempt costs the sender TX; the receiver pays RX only
+		// for the attempt it actually hears.
+		recvDead := faults.NodeDead(round, edge.To)
+		for try := 0; try <= maxRetries; try++ {
+			out.Attempts++
+			seq := attemptSeq[edge]
+			attemptSeq[edge] = seq + 1
+			if !recvDead && faults.Deliver(round, edge, seq) {
+				out.Delivered = true
+				break
+			}
+		}
+		txJ := e.Radio.TxJoules(body)
+		if out.Delivered && out.Attempts == 1 {
+			res.EnergyJ += e.Radio.UnicastJoules(body)
+		} else {
+			res.EnergyJ += float64(out.Attempts) * txJ
+			if out.Delivered {
+				res.EnergyJ += e.Radio.RxJoules(body)
+			}
+		}
+		res.PerNodeJ[edge.From] += float64(out.Attempts) * txJ
+		if out.Delivered {
+			res.PerNodeJ[edge.To] += e.Radio.RxJoules(body)
+		}
+		res.Transmissions += out.Attempts
+		res.Retries += out.Attempts - 1
+
+		if out.Delivered {
+			for _, cr := range raws {
+				rawVal[nodeSource{node: edge.To, source: cr.src}] = cr.val
+			}
+			for _, cr := range recs {
+				key := nodeDest{node: edge.To, dest: cr.dest}
+				if prev, ok := recVal[key]; ok {
+					recVal[key] = inst.SpecByDest[cr.dest].Func.Merge(prev, cr.rec)
+				} else {
+					recVal[key] = cr.rec
+				}
+				cset := cov[key]
+				if cset == nil {
+					cset = make(map[graph.NodeID]bool)
+					cov[key] = cset
+				}
+				for s := range cr.cov {
+					cset[s] = true
+				}
+			}
+		} else {
+			res.Dropped++
+		}
+		res.Outcomes = append(res.Outcomes, out)
+	}
+
+	// Final per-destination merge and delivery report.
+	for _, d := range inst.Dests() {
+		rep := &DeliveryReport{Dest: d}
+		res.Reports[d] = rep
+		f := inst.SpecByDest[d].Func
+		all := f.Sources()
+		if faults.NodeDead(round, d) {
+			rep.DestDead = true
+			rep.Starved = true
+			rep.Missing = append([]graph.NodeID(nil), all...)
+			continue
+		}
+		rec, cv, err := e.assembleLossy(d, d, routing.Edge{}, rawVal, recVal, cov)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range all {
+			if cv[s] {
+				rep.Covered = append(rep.Covered, s)
+			} else {
+				rep.Missing = append(rep.Missing, s)
+			}
+		}
+		sort.Slice(rep.Covered, func(i, j int) bool { return rep.Covered[i] < rep.Covered[j] })
+		sort.Slice(rep.Missing, func(i, j int) bool { return rep.Missing[i] < rep.Missing[j] })
+		if rec == nil {
+			rep.Starved = true
+			continue
+		}
+		rep.Fresh = len(rep.Missing) == 0
+		res.Values[d] = f.Eval(rec)
+	}
+	return res, nil
+}
+
+// assembleLossy is assembleRecord under partial delivery: contributions
+// that never arrived are skipped instead of failing, and the covered
+// source set is tracked alongside the record. When every input is present
+// it performs the identical merge sequence to assembleRecord, so
+// fault-free values match Run bit for bit. rec is nil when nothing at all
+// is available.
+func (e *Engine) assembleLossy(n, d graph.NodeID, out routing.Edge, rawVal map[nodeSource]float64, recVal map[nodeDest]agg.Record, cov map[nodeDest]map[graph.NodeID]bool) (agg.Record, map[graph.NodeID]bool, error) {
+	inst := e.Plan.Inst
+	f := inst.SpecByDest[d].Func
+	final := out == routing.Edge{}
+
+	var pairs []plan.Pair
+	if final {
+		for _, s := range f.Sources() {
+			pairs = append(pairs, plan.Pair{Source: s, Dest: d})
+		}
+	} else {
+		for _, pr := range inst.EdgePairs[out] {
+			if pr.Dest == d {
+				pairs = append(pairs, pr)
+			}
+		}
+	}
+
+	var rec agg.Record
+	cv := make(map[graph.NodeID]bool)
+	mergeIn := func(r agg.Record) {
+		if rec == nil {
+			rec = r.Clone()
+		} else {
+			rec = f.Merge(rec, r)
+		}
+	}
+	usedUpstream := false
+	for _, pr := range pairs {
+		path := inst.Paths[pr]
+		var pos int
+		if final {
+			pos = len(path) - 1
+		} else {
+			pos = inst.PairEdgeIndex(pr, out)
+			if pos < 0 {
+				return nil, nil, fmt.Errorf("sim: pair %d→%d does not cross %v", pr.Source, pr.Dest, out)
+			}
+		}
+		if pos == 0 {
+			if v, ok := rawVal[nodeSource{node: n, source: pr.Source}]; ok {
+				mergeIn(f.PreAgg(pr.Source, v))
+				cv[pr.Source] = true
+			}
+			continue
+		}
+		in := routing.Edge{From: path[pos-1], To: path[pos]}
+		if e.Plan.Sol[in].Agg[d] {
+			if !usedUpstream {
+				usedUpstream = true
+				key := nodeDest{node: n, dest: d}
+				if r, ok := recVal[key]; ok {
+					mergeIn(r)
+					for s := range cov[key] {
+						cv[s] = true
+					}
+				}
+			}
+			continue
+		}
+		if v, ok := rawVal[nodeSource{node: n, source: pr.Source}]; ok {
+			mergeIn(f.PreAgg(pr.Source, v))
+			cv[pr.Source] = true
+		}
+	}
+	return rec, cv, nil
+}

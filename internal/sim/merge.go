@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"sort"
 
 	"m2m/internal/graph"
@@ -122,6 +123,71 @@ func (e *Engine) buildMessages(merge bool) {
 		assign[ui] = remap[m]
 	}
 	e.messages = messagesFromAssign(assign, len(remap))
+}
+
+// orderMessages sorts e.messages into a deterministic topological order of
+// the message wait-for DAG and rebuilds e.order message-contiguously:
+// every message's units appear consecutively (ascending unit index), and a
+// message appears only after every message it waits for. Units of one edge
+// never depend on each other, so the flattening is a valid unit order; Run
+// and RunLossy share it, which is what makes a fault-free lossy round
+// byte-identical to a plain one.
+func (e *Engine) orderMessages() error {
+	n := len(e.messages)
+	unitMsg := make([]int, len(e.units))
+	for m, uis := range e.messages {
+		for _, ui := range uis {
+			unitMsg[ui] = m
+		}
+	}
+	indeg := make([]int, n)
+	adj := make([][]int, n)
+	for u, ds := range e.deps {
+		for _, dep := range ds {
+			if unitMsg[dep] != unitMsg[u] {
+				adj[unitMsg[dep]] = append(adj[unitMsg[dep]], unitMsg[u])
+				indeg[unitMsg[u]]++
+			}
+		}
+	}
+	// Kahn's algorithm, always picking the ready message whose first unit
+	// has the smallest index, for a stable order.
+	var ready []int
+	for m := 0; m < n; m++ {
+		if indeg[m] == 0 {
+			ready = append(ready, m)
+		}
+	}
+	perm := make([]int, 0, n)
+	for len(ready) > 0 {
+		best := 0
+		for i := 1; i < len(ready); i++ {
+			if e.messages[ready[i]][0] < e.messages[ready[best]][0] {
+				best = i
+			}
+		}
+		m := ready[best]
+		ready = append(ready[:best], ready[best+1:]...)
+		perm = append(perm, m)
+		for _, next := range adj[m] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				ready = append(ready, next)
+			}
+		}
+	}
+	if len(perm) != n {
+		return fmt.Errorf("sim: message wait-for cycle survived merging")
+	}
+	msgs := make([][]int, 0, n)
+	order := make([]int, 0, len(e.units))
+	for _, m := range perm {
+		msgs = append(msgs, e.messages[m])
+		order = append(order, e.messages[m]...)
+	}
+	e.messages = msgs
+	e.order = order
+	return nil
 }
 
 // messageGraph lifts the unit wait-for relation onto messages. Self-arcs

@@ -1,0 +1,438 @@
+package m2m
+
+import (
+	"fmt"
+	"sort"
+
+	"m2m/internal/chaos"
+	"m2m/internal/failure"
+	"m2m/internal/routing"
+	"m2m/internal/sim"
+	"m2m/internal/wire"
+)
+
+// FaultSchedule is what the lossy executor queries while a round runs:
+// which nodes have crashed and which transmission attempts are heard.
+// FaultInjector implements it; tests may supply their own deterministic
+// schedules.
+type FaultSchedule = sim.Faults
+
+// FaultInjector is the deterministic, seedable fault injector: per-link
+// stochastic packet loss, transient link outages, and permanent node
+// crashes, all reproducible from the seed alone.
+type FaultInjector = chaos.Injector
+
+// NewFaultInjector returns an injector that injects nothing until loss,
+// outages, or crashes are configured on it.
+func NewFaultInjector(seed int64) *FaultInjector { return chaos.New(seed) }
+
+// DeliveryReport describes how well one destination was served by a lossy
+// round: exactly (fresh), over partial source coverage (stale), or not at
+// all (starved).
+type DeliveryReport = sim.DeliveryReport
+
+// LossyResult reports one round executed under a fault schedule.
+type LossyResult = sim.LossyResult
+
+// ExecuteLossy runs one round of p on net under the fault schedule:
+// messages actually drop, stop-and-wait retransmits at most maxRetries
+// times per message, and the result reports exact, partial, and starved
+// destinations. With a nil schedule the round is byte-identical to
+// Execute.
+func ExecuteLossy(p *Plan, net *Network, round int, readings map[NodeID]float64, faults FaultSchedule, maxRetries int) (*LossyResult, error) {
+	eng, err := sim.NewEngine(p, net.Radio, sim.Options{MergeMessages: true})
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunLossy(round, readings, faults, maxRetries)
+}
+
+// RecoveryEvent records one permanent-failure recovery performed by a
+// ResilientSession.
+type RecoveryEvent struct {
+	// Dead is the node that was declared permanently failed.
+	Dead NodeID
+	// Round is the round in which the declaration and replan happened.
+	Round int
+	// DetectRounds is how many rounds passed between the first
+	// unexplained miss implicating the node and its declaration.
+	DetectRounds int
+	// RecoverRounds is how many rounds after the replan every surviving
+	// destination reported fresh again; -1 while that has not happened.
+	RecoverRounds int
+	// ReplanJ and ReplanBytes price disseminating the incremental plan
+	// update (diff against the old tables) from the base station.
+	ReplanJ     float64
+	ReplanBytes int
+	// EdgesReused and EdgesSolved quantify the incremental re-optimization
+	// (Corollary 1): single-edge solutions carried over vs re-solved.
+	EdgesReused int
+	EdgesSolved int
+	// DroppedDests lists destinations that left the workload — the dead
+	// node itself and any destination whose last source died with it.
+	DroppedDests []NodeID
+}
+
+// ResilientConfig tunes failure detection and ride-out in a
+// ResilientSession. Zero values select the defaults noted on each field.
+type ResilientConfig struct {
+	// MaxRetries bounds stop-and-wait retransmissions per message
+	// (default 3).
+	MaxRetries int
+	// MissThreshold is K, the consecutive rounds a node must be
+	// implicated without vindication before it is declared permanently
+	// dead and planned around (default 3).
+	MissThreshold int
+	// DetourBudget bounds how many consecutive failed rounds of a single
+	// link the session rides out with milestone detours before it stops
+	// paying for them (default 5). Any delivery on the link resets it.
+	DetourBudget int
+}
+
+func (c ResilientConfig) withDefaults() ResilientConfig {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MissThreshold == 0 {
+		c.MissThreshold = 3
+	}
+	if c.DetourBudget == 0 {
+		c.DetourBudget = 5
+	}
+	return c
+}
+
+// ResilientStep reports one round of a ResilientSession.
+type ResilientStep struct {
+	// Round is the 0-based round index.
+	Round int
+	// Values holds the last fresh (exact) value of every surviving
+	// destination; a destination served only partially this round keeps
+	// its previous value (stale).
+	Values map[NodeID]float64
+	// EnergyJ is the round's total radio energy: transmissions and
+	// retries, milestone detours, and any replan dissemination.
+	EnergyJ float64
+	// Fresh, Stale, and Starved count this round's destinations by how
+	// well they were served.
+	Fresh, Stale, Starved int
+	// Detours is how many failed messages were ridden out via milestone
+	// detours this round.
+	Detours int
+	// Recoveries lists permanent-failure recoveries performed this round
+	// (usually empty).
+	Recoveries []*RecoveryEvent
+}
+
+// ResilientSession runs a workload continuously under a fault schedule
+// and heals itself. Every round executes the full plan on the lossy
+// engine (no temporal suppression — suppressed silence is
+// indistinguishable from loss, so a resilient session always transmits;
+// see Session for the suppression-based fair-weather variant). Faults are
+// classified from observable outcomes only:
+//
+//   - Transient faults — lost attempts, link outages — are ridden out:
+//     stop-and-wait retransmission first, then a milestone detour around
+//     the failed link (failure.DetourHops) within a bounded budget.
+//     Affected destinations go stale for a round or two and catch up on
+//     the next fresh delivery.
+//   - Persistent faults — a node silent or unreachable for MissThreshold
+//     consecutive rounds — trigger recovery: the node is removed from the
+//     graph, the workload pruned, routes rebuilt, the plan repaired
+//     incrementally (Corollary 1), and the table diff disseminated at its
+//     priced energy cost. The session then resumes on the healed plan.
+//
+// Detection relies on the lossy engine's keep-alive convention: an alive
+// sender always transmits its planned messages, even empty, so silence on
+// an edge implicates the sender and exhausted retries implicate the
+// receiver — until either is vindicated by any successful send or
+// receipt.
+type ResilientSession struct {
+	net    *Network
+	kind   RouterKind
+	specs  []Spec
+	inst   *Instance
+	plan   *Plan
+	engine *sim.Engine
+	gen    ReadingGenerator
+	faults FaultSchedule
+	cfg    ResilientConfig
+
+	round  int
+	values map[NodeID]float64
+	totalJ float64
+
+	misses     map[NodeID]int
+	firstMiss  map[NodeID]int
+	detourRuns map[routing.Edge]int
+	dead       map[NodeID]bool
+	recoveries []*RecoveryEvent
+	pending    []*RecoveryEvent
+}
+
+// NewResilientSession optimizes the workload and prepares continuous
+// lossy execution under the fault schedule. A nil schedule means a
+// fault-free network (every round then matches Execute byte for byte).
+func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen ReadingGenerator, faults FaultSchedule, cfg ResilientConfig) (*ResilientSession, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("m2m: nil reading generator")
+	}
+	inst, err := net.NewInstance(specs, kind)
+	if err != nil {
+		return nil, err
+	}
+	p, err := Optimize(inst)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.NewEngine(p, net.Radio, sim.Options{MergeMessages: true})
+	if err != nil {
+		return nil, err
+	}
+	return &ResilientSession{
+		net:        net,
+		kind:       kind,
+		specs:      specs,
+		inst:       inst,
+		plan:       p,
+		engine:     eng,
+		gen:        gen,
+		faults:     faults,
+		cfg:        cfg.withDefaults(),
+		values:     make(map[NodeID]float64),
+		misses:     make(map[NodeID]int),
+		firstMiss:  make(map[NodeID]int),
+		detourRuns: make(map[routing.Edge]int),
+		dead:       make(map[NodeID]bool),
+	}, nil
+}
+
+// Step executes the next round: run the plan under the fault schedule,
+// ride out what looks transient, recover from what looks permanent.
+func (s *ResilientSession) Step() (*ResilientStep, error) {
+	cur := s.gen.Next()
+	res, err := s.engine.RunLossy(s.round, cur, s.faults, s.cfg.MaxRetries)
+	if err != nil {
+		return nil, err
+	}
+	step := &ResilientStep{Round: s.round, EnergyJ: res.EnergyJ}
+
+	// Classify this round's observations. A node is vindicated by any
+	// successful send or receipt; it is implicated by silence (dead
+	// senders are the only silent ones) or by exhausting the retry budget
+	// toward it when the detour also comes back empty.
+	implicated := make(map[NodeID]bool)
+	vindicated := make(map[NodeID]bool)
+	for _, o := range res.Outcomes {
+		switch {
+		case o.Attempts == 0:
+			implicated[o.Edge.From] = true
+		case o.Delivered:
+			vindicated[o.Edge.From] = true
+			vindicated[o.Edge.To] = true
+			delete(s.detourRuns, o.Edge)
+		default:
+			// The sender kept transmitting, so it is alive; suspicion
+			// falls on the link or the receiver. Ride the link out with a
+			// milestone detour while the budget lasts.
+			vindicated[o.Edge.From] = true
+			if s.detourRuns[o.Edge] < s.cfg.DetourBudget {
+				s.detourRuns[o.Edge]++
+				if hops, derr := failure.DetourHops(s.net.Graph, o.Edge.From, o.Edge.To, o.Edge.From, o.Edge.To); derr == nil {
+					step.Detours++
+					step.EnergyJ += float64(hops) * s.net.Radio.UnicastJoules(o.BodyBytes)
+					if s.faults == nil || !s.faults.NodeDead(s.round, o.Edge.To) {
+						// The detour got through: the receiver answered.
+						vindicated[o.Edge.To] = true
+						continue
+					}
+				}
+			}
+			implicated[o.Edge.To] = true
+		}
+	}
+
+	// Keep only strictly consecutive misses.
+	for n := range s.misses {
+		if vindicated[n] || !implicated[n] {
+			delete(s.misses, n)
+			delete(s.firstMiss, n)
+		}
+	}
+	for n := range implicated {
+		if s.dead[n] || vindicated[n] {
+			continue
+		}
+		if s.misses[n] == 0 {
+			s.firstMiss[n] = s.round
+		}
+		s.misses[n]++
+	}
+
+	// Update last-known values from this round's exact deliveries.
+	for d, rep := range res.Reports {
+		switch {
+		case rep.Fresh:
+			step.Fresh++
+			s.values[d] = res.Values[d]
+		case rep.Starved:
+			step.Starved++
+		default:
+			step.Stale++
+		}
+	}
+
+	// A fault-free round closes out pending recoveries: every surviving
+	// destination has caught up.
+	if len(s.pending) > 0 {
+		allFresh := true
+		for _, d := range s.inst.Dests() {
+			if rep := res.Reports[d]; rep == nil || !rep.Fresh {
+				allFresh = false
+				break
+			}
+		}
+		if allFresh {
+			for _, ev := range s.pending {
+				ev.RecoverRounds = s.round - ev.Round
+			}
+			s.pending = nil
+		}
+	}
+
+	// Declare persistent faults and heal.
+	var condemned []NodeID
+	for n, c := range s.misses {
+		if c >= s.cfg.MissThreshold {
+			condemned = append(condemned, n)
+		}
+	}
+	sort.Slice(condemned, func(i, j int) bool { return condemned[i] < condemned[j] })
+	for _, n := range condemned {
+		ev, err := s.recover(n)
+		if err != nil {
+			return nil, err
+		}
+		step.EnergyJ += ev.ReplanJ
+		step.Recoveries = append(step.Recoveries, ev)
+	}
+
+	step.Values = make(map[NodeID]float64, len(s.values))
+	for d, v := range s.values {
+		step.Values[d] = v
+	}
+	s.totalJ += step.EnergyJ
+	s.round++
+	return step, nil
+}
+
+// recover plans around a node declared permanently dead: graph surgery,
+// workload pruning, rerouting, incremental re-optimization, and priced
+// dissemination of the table diff.
+func (s *ResilientSession) recover(dead NodeID) (*RecoveryEvent, error) {
+	g2, err := failure.RemoveNode(s.net.Graph, dead)
+	if err != nil {
+		return nil, err
+	}
+	pruned, _, err := failure.PruneSpecs(s.specs, dead)
+	if err != nil {
+		return nil, fmt.Errorf("m2m: cannot recover: %w", err)
+	}
+	net2 := &Network{Layout: s.net.Layout, Graph: g2, Radio: s.net.Radio}
+	newInst, err := net2.NewInstance(pruned, s.kind)
+	if err != nil {
+		return nil, err
+	}
+	recovered, stats, err := Reoptimize(s.plan, newInst)
+	if err != nil {
+		return nil, err
+	}
+	oldTab, err := s.plan.BuildTables()
+	if err != nil {
+		return nil, err
+	}
+	newTab, err := recovered.BuildTables()
+	if err != nil {
+		return nil, err
+	}
+	base := s.lowestAlive(dead)
+	diff, err := wire.CostUpdate(s.inst, newInst, oldTab, newTab, s.net.Radio, base)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.NewEngine(recovered, s.net.Radio, sim.Options{MergeMessages: true})
+	if err != nil {
+		return nil, err
+	}
+
+	ev := &RecoveryEvent{
+		Dead:          dead,
+		Round:         s.round,
+		DetectRounds:  s.round - s.firstMiss[dead] + 1,
+		RecoverRounds: -1,
+		ReplanJ:       diff.EnergyJ,
+		ReplanBytes:   diff.Bytes,
+		EdgesReused:   stats.EdgesReused,
+		EdgesSolved:   stats.EdgesSolved,
+	}
+	for _, d := range s.inst.Dests() {
+		if _, ok := newInst.SpecByDest[d]; !ok {
+			ev.DroppedDests = append(ev.DroppedDests, d)
+			delete(s.values, d)
+		}
+	}
+
+	s.net = net2
+	s.specs = pruned
+	s.inst = newInst
+	s.plan = recovered
+	s.engine = eng
+	s.dead[dead] = true
+	delete(s.misses, dead)
+	delete(s.firstMiss, dead)
+	s.recoveries = append(s.recoveries, ev)
+	s.pending = append(s.pending, ev)
+	return ev, nil
+}
+
+// lowestAlive picks the dissemination base station: the lowest-numbered
+// node not known to be dead.
+func (s *ResilientSession) lowestAlive(dying NodeID) NodeID {
+	for i := 0; i < s.net.Len(); i++ {
+		n := NodeID(i)
+		if !s.dead[n] && n != dying {
+			return n
+		}
+	}
+	return 0
+}
+
+// Rounds returns how many rounds have executed.
+func (s *ResilientSession) Rounds() int { return s.round }
+
+// TotalEnergyJ returns the session's accumulated radio energy, including
+// retries, detours, and replan dissemination.
+func (s *ResilientSession) TotalEnergyJ() float64 { return s.totalJ }
+
+// Recoveries returns every permanent-failure recovery so far, in order.
+func (s *ResilientSession) Recoveries() []*RecoveryEvent {
+	return append([]*RecoveryEvent(nil), s.recoveries...)
+}
+
+// DeadNodes returns the nodes declared permanently failed, ascending.
+func (s *ResilientSession) DeadNodes() []NodeID {
+	out := make([]NodeID, 0, len(s.dead))
+	for n := range s.dead {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Workload returns the current (possibly pruned) workload.
+func (s *ResilientSession) Workload() []Spec {
+	return append([]Spec(nil), s.specs...)
+}
+
+// CurrentPlan returns the plan the session is executing right now.
+func (s *ResilientSession) CurrentPlan() *Plan { return s.plan }

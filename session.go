@@ -161,10 +161,7 @@ func (s *Session) TotalEnergyJ() float64 { return s.totalJ }
 
 // LifetimeRounds estimates rounds until the first node dies if every
 // round cost the full (unsuppressed) plan energy — a conservative bound.
+// The per-node costs are reading-independent, so no round is executed.
 func (s *Session) LifetimeRounds(batteryJ float64) (int, NodeID, error) {
-	res, err := s.engine.Run(map[NodeID]float64{})
-	if err != nil {
-		return 0, 0, err
-	}
-	return sim.LifetimeRounds(res.PerNodeJ, batteryJ)
+	return sim.LifetimeRounds(s.engine.PerNodeEnergy(), batteryJ)
 }
