@@ -89,6 +89,9 @@ func BenchmarkAdaptive(b *testing.B) { benchExperiment(b, "adaptive") }
 // BenchmarkChaos regenerates the fault-injection degradation table.
 func BenchmarkChaos(b *testing.B) { benchExperiment(b, "chaos") }
 
+// BenchmarkAsync regenerates the event-driven timing-regime table.
+func BenchmarkAsync(b *testing.B) { benchExperiment(b, "async") }
+
 // --- Micro-benchmarks ---
 
 func evalInstance(b *testing.B, destFrac float64) *Instance {

@@ -9,10 +9,21 @@
 //	m2msim -router shared -values
 //	m2msim -loss 0.1                        # lossy rounds at 10% per-attempt link loss
 //	m2msim -loss 0.05 -fail-node 12 -fail-round 2
+//	m2msim -loss 0.1 -jitter 20             # event-driven rounds, ±20ms link jitter
+//	m2msim -dup 0.2 -jitter 15 -deadline 500
 //
 // With -loss and/or -fail-node the optimal plan is additionally executed
 // on the lossy engine (stop-and-wait, 3 retries) under a seeded fault
 // injector, and per-round delivery outcomes are reported.
+//
+// Any of -jitter, -dup, or -deadline switches those rounds to the
+// event-driven asynchronous engine: every transmission draws a per-link
+// latency (2ms base plus up to -jitter ms), -dup is the probability a
+// delivery is duplicated (the receiver's dedup window absorbs the copy),
+// and -deadline closes each destination's round after that many
+// milliseconds with its best partial aggregate. Retransmission timing is
+// adaptive per link (RTT-estimated with exponential backoff) instead of
+// the synchronous engine's fixed stop-and-wait.
 package main
 
 import (
@@ -44,6 +55,9 @@ func main() {
 		loss       = flag.Float64("loss", 0, "uniform per-attempt link loss probability in [0,1); >0 runs the lossy engine")
 		failNode   = flag.Int("fail-node", -1, "node to crash permanently under fault injection (-1 = none)")
 		failRound  = flag.Int("fail-round", 0, "round at which -fail-node crashes")
+		jitter     = flag.Float64("jitter", 0, "per-link latency jitter amplitude in ms; >0 selects the event-driven engine")
+		dup        = flag.Float64("dup", 0, "per-delivery duplication probability in [0,1); >0 selects the event-driven engine")
+		deadline   = flag.Float64("deadline", 0, "round deadline in ms (0 = none); >0 selects the event-driven engine")
 	)
 	flag.Parse()
 
@@ -158,14 +172,16 @@ func main() {
 		fmt.Printf("%-12s %11.2f mJ %10d\n", a.name, e*1e3, m)
 	}
 
-	if *loss > 0 || *failNode >= 0 {
-		runChaos(opt, net, readings, *seed, *loss, *failNode, *failRound)
+	if *loss > 0 || *failNode >= 0 || *jitter > 0 || *dup > 0 || *deadline > 0 {
+		runChaos(opt, net, readings, *seed, *loss, *failNode, *failRound, *jitter, *dup, *deadline)
 	}
 }
 
-// runChaos executes the optimal plan on the lossy engine under a seeded
-// fault injector and prints per-round delivery outcomes.
-func runChaos(opt *m2m.Plan, net *m2m.Network, readings map[m2m.NodeID]float64, seed int64, loss float64, failNode, failRound int) {
+// runChaos executes the optimal plan under a seeded fault injector and
+// prints per-round delivery outcomes: on the synchronous lossy engine by
+// default, or on the event-driven asynchronous engine when any timing
+// dimension (jitter, duplication, deadline) is requested.
+func runChaos(opt *m2m.Plan, net *m2m.Network, readings map[m2m.NodeID]float64, seed int64, loss float64, failNode, failRound int, jitter, dup, deadline float64) {
 	if loss < 0 || loss >= 1 {
 		fmt.Fprintf(os.Stderr, "m2msim: -loss %v outside [0,1)\n", loss)
 		os.Exit(2)
@@ -173,6 +189,13 @@ func runChaos(opt *m2m.Plan, net *m2m.Network, readings map[m2m.NodeID]float64, 
 	inj := chaos.New(seed)
 	if loss > 0 {
 		inj.WithUniformLoss(loss)
+	}
+	async := jitter > 0 || dup > 0 || deadline > 0
+	if jitter > 0 {
+		inj.WithJitter(2, jitter)
+	}
+	if dup > 0 {
+		inj.WithDuplication(dup)
 	}
 	rounds := 1
 	if failNode >= 0 {
@@ -187,31 +210,55 @@ func runChaos(opt *m2m.Plan, net *m2m.Network, readings map[m2m.NodeID]float64, 
 		inj.Crash(m2m.NodeID(failNode), failRound)
 		rounds = failRound + 2 // watch at least one round past the crash
 	}
+	if async && rounds < 3 {
+		rounds = 3 // give the per-link RTT estimators rounds to adapt
+	}
 	check(inj.Validate())
 	eng, err := sim.NewEngine(opt, net.Radio, sim.Options{MergeMessages: true})
 	check(err)
 
 	const retries = 3
+	if async {
+		runner, err := sim.NewAsyncRunner(eng, sim.AsyncConfig{MaxRetries: retries, DeadlineMS: deadline})
+		check(err)
+		fmt.Printf("\nasync fault injection (seed %d, loss %.3f, jitter %.0fms, dup %.2f, deadline %.0fms, %d retries):\n",
+			seed, loss, jitter, dup, deadline, retries)
+		fmt.Printf("%-6s %14s %8s %8s %8s %7s %7s %7s %9s %5s %9s\n",
+			"round", "energy", "tx", "retries", "dropped", "fresh", "stale", "starved", "makespan", "dups", "deadlined")
+		for r := 0; r < rounds; r++ {
+			res, err := runner.Run(r, readings, inj)
+			check(err)
+			fresh, stale, starved := countReports(res.Reports)
+			fmt.Printf("%-6d %11.2f mJ %8d %8d %8d %7d %7d %7d %7.0fms %5d %9d\n",
+				r, res.EnergyJ*1e3, res.Transmissions, res.Retries, res.Dropped,
+				fresh, stale, starved, res.MakespanMS, res.DupCopies, res.DeadlineClosed)
+		}
+		return
+	}
 	fmt.Printf("\nfault injection (seed %d, loss %.3f, %d retries):\n", seed, loss, retries)
 	fmt.Printf("%-6s %14s %8s %8s %8s %7s %7s %7s\n",
 		"round", "energy", "tx", "retries", "dropped", "fresh", "stale", "starved")
 	for r := 0; r < rounds; r++ {
 		res, err := eng.RunLossy(r, readings, inj, retries)
 		check(err)
-		fresh, stale, starved := 0, 0, 0
-		for _, rep := range res.Reports {
-			switch {
-			case rep.Starved:
-				starved++
-			case rep.Fresh:
-				fresh++
-			default:
-				stale++
-			}
-		}
+		fresh, stale, starved := countReports(res.Reports)
 		fmt.Printf("%-6d %11.2f mJ %8d %8d %8d %7d %7d %7d\n",
 			r, res.EnergyJ*1e3, res.Transmissions, res.Retries, res.Dropped, fresh, stale, starved)
 	}
+}
+
+func countReports(reports map[m2m.NodeID]*sim.DeliveryReport) (fresh, stale, starved int) {
+	for _, rep := range reports {
+		switch {
+		case rep.Starved:
+			starved++
+		case rep.Fresh:
+			fresh++
+		default:
+			stale++
+		}
+	}
+	return
 }
 
 func printValues(vals map[m2m.NodeID]float64) {

@@ -1,5 +1,5 @@
 // Package chaos is a deterministic, seedable fault injector for the
-// execution layer. It models the three failure classes of Section 3 as a
+// execution layer. It models the failure classes of Section 3 as a
 // schedule the lossy executor queries per (round, edge):
 //
 //   - per-link stochastic packet loss, either uniform, from an explicit
@@ -10,8 +10,19 @@
 //   - permanent node crashes: from its crash round on, a node neither
 //     transmits, receives, nor samples.
 //
-// Every stochastic draw is a pure function of (seed, round, edge, attempt),
-// so outcomes are reproducible regardless of query order and identical
+// For the event-driven asynchronous executor the injector additionally
+// models the timing dimensions of a real channel:
+//
+//   - per-copy propagation latency: a base delay plus a uniform jitter
+//     draw, independently per transmission attempt and copy;
+//   - duplication: a delivered attempt arrives twice, the duplicate with
+//     its own (usually later) latency draw;
+//   - reordering: a delivered copy is held back by an extra delay with
+//     some probability, landing behind later transmissions on the link.
+//
+// Every stochastic draw is a pure function of (seed, round, edge, attempt)
+// — plus the copy index and a purpose salt for the timing draws — so
+// outcomes are reproducible regardless of query order and identical
 // across re-runs — the property the self-healing soak tests rely on.
 package chaos
 
@@ -51,6 +62,12 @@ type Injector struct {
 	loss    func(routing.Edge) float64
 	outages map[link][]Outage
 	crashes map[graph.NodeID]int
+
+	baseMS    float64
+	jitterMS  float64
+	dupProb   float64
+	reordProb float64
+	reordMS   float64
 }
 
 // New returns an empty injector whose stochastic draws derive from seed.
@@ -82,6 +99,33 @@ func (in *Injector) WithDistanceLoss(dist func(routing.Edge) float64, lossFor fu
 	return in.WithLoss(func(e routing.Edge) float64 { return lossFor(dist(e)) })
 }
 
+// WithJitter installs the per-copy latency model: every delivered copy
+// takes baseMS plus an independent uniform draw in [0, jitterMS) to cross
+// its link. Both must be non-negative; the zero model is instantaneous
+// (the synchronous executors' implicit assumption).
+func (in *Injector) WithJitter(baseMS, jitterMS float64) *Injector {
+	in.baseMS = baseMS
+	in.jitterMS = jitterMS
+	return in
+}
+
+// WithDuplication makes every delivered attempt arrive twice with
+// probability p in [0, 1): the duplicate copy takes an independent latency
+// draw, so it typically lands later — and possibly out of order.
+func (in *Injector) WithDuplication(p float64) *Injector {
+	in.dupProb = p
+	return in
+}
+
+// WithReorder holds a delivered copy back by extraMS with probability p in
+// [0, 1), pushing it behind later transmissions on the same link — the
+// explicit reordering knob on top of whatever jitter already produces.
+func (in *Injector) WithReorder(p float64, extraMS float64) *Injector {
+	in.reordProb = p
+	in.reordMS = extraMS
+	return in
+}
+
 // AddOutage schedules a transient outage of the physical link under e
 // (both directions) for rounds [start, start+rounds).
 func (in *Injector) AddOutage(e routing.Edge, start, rounds int) *Injector {
@@ -111,6 +155,18 @@ func (in *Injector) Validate() error {
 				return fmt.Errorf("chaos: link %d—%d outage [%d,+%d) invalid", l.a, l.b, o.Start, o.Rounds)
 			}
 		}
+	}
+	if in.baseMS < 0 || in.jitterMS < 0 {
+		return fmt.Errorf("chaos: negative latency model (base=%v, jitter=%v)", in.baseMS, in.jitterMS)
+	}
+	if in.dupProb < 0 || in.dupProb >= 1 {
+		return fmt.Errorf("chaos: duplication probability %v outside [0,1)", in.dupProb)
+	}
+	if in.reordProb < 0 || in.reordProb >= 1 {
+		return fmt.Errorf("chaos: reorder probability %v outside [0,1)", in.reordProb)
+	}
+	if in.reordMS < 0 {
+		return fmt.Errorf("chaos: negative reorder delay %v", in.reordMS)
 	}
 	return nil
 }
@@ -158,6 +214,41 @@ func (in *Injector) Deliver(round int, e routing.Edge, attempt int) bool {
 	return draw01(in.seed, round, e, attempt) >= p
 }
 
+// Purpose salts keep the timing draws decorrelated from the delivery draw
+// and from each other: a lossy attempt must not systematically be a slow
+// or duplicated one.
+const (
+	saltLatency uint64 = 0x5851f42d4c957f2d
+	saltDup     uint64 = 0x2545f4914f6cdd1d
+	saltReorder uint64 = 0x9fb21c651e98df25
+)
+
+// LatencyMS reports the one-way propagation delay, in milliseconds, of
+// copy c of the attempt-th transmission of the round on e. Copy 0 is the
+// attempt itself; higher copies are the injector's duplicates (and, by
+// the async executor's convention, the matching acknowledgements). The
+// draw is a pure function of (seed, round, edge, attempt, copy).
+func (in *Injector) LatencyMS(round int, e routing.Edge, attempt, c int) float64 {
+	l := in.baseMS
+	if in.jitterMS > 0 {
+		l += in.jitterMS * drawSalted(in.seed, round, e, attempt, saltLatency+uint64(c)*2654435761)
+	}
+	if in.reordProb > 0 && drawSalted(in.seed, round, e, attempt, saltReorder+uint64(c)*2654435761) < in.reordProb {
+		l += in.reordMS
+	}
+	return l
+}
+
+// Duplicates reports how many extra copies of the attempt-th transmission
+// of the round on e the receiver hears beyond the first (0 or 1); it only
+// applies to attempts the Deliver schedule lets through.
+func (in *Injector) Duplicates(round int, e routing.Edge, attempt int) int {
+	if in.dupProb > 0 && drawSalted(in.seed, round, e, attempt, saltDup) < in.dupProb {
+		return 1
+	}
+	return 0
+}
+
 // Crashes returns the scheduled (node, round) crash list, unordered.
 func (in *Injector) Crashes() map[graph.NodeID]int {
 	out := make(map[graph.NodeID]int, len(in.crashes))
@@ -172,6 +263,19 @@ func (in *Injector) Crashes() map[graph.NodeID]int {
 // depend on the order in which the executor asks.
 func draw01(seed int64, round int, e routing.Edge, attempt int) float64 {
 	x := uint64(seed)
+	x = mix(x ^ uint64(round)*0x9e3779b97f4a7c15)
+	x = mix(x ^ uint64(e.From)*0xbf58476d1ce4e5b9)
+	x = mix(x ^ uint64(e.To)*0x94d049bb133111eb)
+	x = mix(x ^ uint64(attempt)*0xd6e8feb86659fd93)
+	return float64(x>>11) / (1 << 53)
+}
+
+// drawSalted is draw01 with a purpose salt mixed in first. The unsalted
+// delivery draw keeps its historical sequence (loss patterns under a given
+// seed are stable across releases); timing draws hash through a different
+// sequence entirely.
+func drawSalted(seed int64, round int, e routing.Edge, attempt int, salt uint64) float64 {
+	x := mix(uint64(seed) ^ salt)
 	x = mix(x ^ uint64(round)*0x9e3779b97f4a7c15)
 	x = mix(x ^ uint64(e.From)*0xbf58476d1ce4e5b9)
 	x = mix(x ^ uint64(e.To)*0x94d049bb133111eb)

@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"m2m/internal/graph"
@@ -43,6 +44,140 @@ func TestDeterminism(t *testing.T) {
 	}
 	if same {
 		t.Error("seeds 42 and 43 produced identical outcomes")
+	}
+}
+
+// TestRepeatedQueriesIdentical is the purity property every executor
+// depends on: whatever the injector answers for a (round, edge, attempt)
+// query — delivery, latency, duplication — it answers identically on every
+// later repetition, in any interleaving, across every schedule method.
+func TestRepeatedQueriesIdentical(t *testing.T) {
+	in := New(99).
+		WithUniformLoss(0.4).
+		WithJitter(2, 30).
+		WithDuplication(0.25).
+		WithReorder(0.2, 80).
+		AddOutage(routing.Edge{From: 1, To: 2}, 5, 3).
+		Crash(7, 11)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	type query struct {
+		round, attempt, copy int
+		e                    routing.Edge
+	}
+	rng := rand.New(rand.NewSource(4))
+	queries := make([]query, 400)
+	for i := range queries {
+		queries[i] = query{
+			round:   rng.Intn(30),
+			attempt: rng.Intn(6),
+			copy:    rng.Intn(3),
+			e:       routing.Edge{From: graph.NodeID(rng.Intn(12)), To: graph.NodeID(rng.Intn(12))},
+		}
+	}
+	type answer struct {
+		deliver, dead, down bool
+		latency             float64
+		dups                int
+	}
+	ask := func(q query) answer {
+		return answer{
+			deliver: in.Deliver(q.round, q.e, q.attempt),
+			dead:    in.NodeDead(q.round, q.e.From),
+			down:    in.LinkDown(q.round, q.e),
+			latency: in.LatencyMS(q.round, q.e, q.attempt, q.copy),
+			dups:    in.Duplicates(q.round, q.e, q.attempt),
+		}
+	}
+	first := make([]answer, len(queries))
+	for i, q := range queries {
+		first[i] = ask(q)
+	}
+	// Re-ask in a shuffled order, twice.
+	for pass := 0; pass < 2; pass++ {
+		perm := rng.Perm(len(queries))
+		for _, i := range perm {
+			if got := ask(queries[i]); got != first[i] {
+				t.Fatalf("query %+v changed its answer: %+v then %+v", queries[i], first[i], got)
+			}
+		}
+	}
+	for i, a := range first {
+		if a.latency < 2 {
+			t.Fatalf("query %d: latency %v below the 2ms base", i, a.latency)
+		}
+		if a.dups != 0 && a.dups != 1 {
+			t.Fatalf("query %d: %d duplicates, want 0 or 1", i, a.dups)
+		}
+	}
+}
+
+// The timing knobs must not perturb the delivery draw: a schedule with and
+// without jitter/duplication drops exactly the same attempts.
+func TestTimingKnobsLeaveDeliveryUnchanged(t *testing.T) {
+	plain := New(7).WithUniformLoss(0.3)
+	timed := New(7).WithUniformLoss(0.3).WithJitter(1, 50).WithDuplication(0.4).WithReorder(0.3, 10)
+	e := routing.Edge{From: 3, To: 9}
+	for r := 0; r < 40; r++ {
+		for att := 0; att < 4; att++ {
+			if plain.Deliver(r, e, att) != timed.Deliver(r, e, att) {
+				t.Fatalf("round %d attempt %d: timing knobs changed delivery", r, att)
+			}
+		}
+	}
+}
+
+func TestJitterAndDuplicationStatistics(t *testing.T) {
+	in := New(11).WithJitter(5, 20).WithDuplication(0.3)
+	e := routing.Edge{From: 0, To: 1}
+	var sum float64
+	dups := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		l := in.LatencyMS(i, e, 0, 0)
+		if l < 5 || l >= 25 {
+			t.Fatalf("round %d: latency %v outside [5, 25)", i, l)
+		}
+		sum += l
+		dups += in.Duplicates(i, e, 0)
+	}
+	if mean := sum / n; math.Abs(mean-15) > 0.5 {
+		t.Errorf("mean latency %.2f, want ≈15", mean)
+	}
+	if got := float64(dups) / n; math.Abs(got-0.3) > 0.02 {
+		t.Errorf("empirical duplication %.3f, want ≈0.30", got)
+	}
+	// Copies draw independent latencies: the duplicate is not a replay.
+	varies := false
+	for i := 0; i < 20 && !varies; i++ {
+		if in.LatencyMS(i, e, 0, 0) != in.LatencyMS(i, e, 0, 1) {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Error("duplicate copies always share the primary's latency")
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	if err := New(0).WithJitter(-1, 0).Validate(); err == nil {
+		t.Error("negative base latency accepted")
+	}
+	if err := New(0).WithJitter(0, -2).Validate(); err == nil {
+		t.Error("negative jitter accepted")
+	}
+	if err := New(0).WithDuplication(1).Validate(); err == nil {
+		t.Error("duplication probability 1 accepted")
+	}
+	if err := New(0).WithReorder(-0.1, 5).Validate(); err == nil {
+		t.Error("negative reorder probability accepted")
+	}
+	if err := New(0).WithReorder(0.2, -5).Validate(); err == nil {
+		t.Error("negative reorder delay accepted")
+	}
+	if err := New(0).WithJitter(1, 4).WithDuplication(0.1).WithReorder(0.1, 3).Validate(); err != nil {
+		t.Errorf("valid timing model rejected: %v", err)
 	}
 }
 

@@ -166,6 +166,7 @@ func All() []Runner {
 		{ID: "loss", Paper: "Section 3 (route stability; ARQ under link loss)", Run: LinkLoss},
 		{ID: "adaptive", Paper: "Section 4 summary (volatility-adaptive override)", Run: Adaptive},
 		{ID: "chaos", Paper: "robustness extension (fault injection & recovery)", Run: Chaos},
+		{ID: "async", Paper: "robustness extension (latency, duplication, deadlines)", Run: Async},
 	}
 }
 

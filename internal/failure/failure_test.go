@@ -90,7 +90,7 @@ func TestPruneSpecs(t *testing.T) {
 func TestPruneSpecsEmptyWorkload(t *testing.T) {
 	w := map[graph.NodeID]float64{2: 1}
 	specs := []agg.Spec{
-		{Dest: 5, Func: agg.NewWeightedSum(w)}, // loses its only source
+		{Dest: 5, Func: agg.NewWeightedSum(w)},                              // loses its only source
 		{Dest: 2, Func: agg.NewWeightedSum(map[graph.NodeID]float64{1: 1})}, // destination dies
 	}
 	pruned, dropped, err := PruneSpecs(specs, 2)

@@ -1,0 +1,816 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"m2m/internal/agg"
+	"m2m/internal/graph"
+	"m2m/internal/plan"
+	"m2m/internal/routing"
+)
+
+// This file is the event-driven asynchronous execution mode: instead of
+// the synchronous executors' round-at-once sweep, every transmission is a
+// timed event with a per-link latency draw, the injector may duplicate and
+// reorder deliveries, retransmission timeouts adapt per link
+// (Jacobson/Karels RTT estimation with exponential backoff), and a
+// destination closes its round either when its last input resolves or at a
+// configurable deadline — emitting its best partial aggregate, tagged with
+// coverage and a staleness age from a last-known-value cache.
+//
+// Two invariants anchor it to the synchronous semantics:
+//
+//  1. a fault-free async round is byte-identical to Engine.Run — same
+//     values, same total and per-node energy;
+//  2. duplication and reordering never change delivered values, only
+//     timing and energy, because every transmission is tagged (epoch, seq)
+//     (the versioned wire header of internal/wire) and receivers discard
+//     tags they have already applied. The merge m_d is not idempotent —
+//     without the dedup window a duplicated SUM/COUNT partial would
+//     silently corrupt every downstream destination.
+//
+// Identity of values holds because receivers fold partial records in
+// planned message order, not arrival order: floating-point merges are
+// replayed in exactly the sequence RunLossy would use, whatever the
+// channel did to the timing.
+
+// AsyncFaults extends the Faults schedule with the timing dimensions the
+// event-driven executor exercises. chaos.Injector implements it. Both
+// methods must be pure functions of their arguments.
+type AsyncFaults interface {
+	Faults
+	// LatencyMS is the one-way propagation delay of copy c of the
+	// attempt-th transmission of the round on e, in milliseconds. By
+	// convention data copy i queries c=2i and its acknowledgement c=2i+1.
+	LatencyMS(round int, e routing.Edge, attempt, c int) float64
+	// Duplicates is how many extra copies of a delivered attempt the
+	// receiver hears beyond the first.
+	Duplicates(round int, e routing.Edge, attempt int) int
+}
+
+// zeroAsync adapts a plain Faults schedule to AsyncFaults: instantaneous
+// links, no duplication — so synchronous test schedules run unchanged.
+type zeroAsync struct{ Faults }
+
+func (zeroAsync) LatencyMS(int, routing.Edge, int, int) float64 { return 0 }
+func (zeroAsync) Duplicates(int, routing.Edge, int) int         { return 0 }
+
+// AsyncConfig tunes the asynchronous executor. Zero values select the
+// defaults noted on each field.
+type AsyncConfig struct {
+	// MaxRetries bounds retransmissions per message beyond the first
+	// attempt (0 selects the default 3; negative means none), matching the
+	// synchronous stop-and-wait budget.
+	MaxRetries int
+	// InitialRTOMS seeds a link's retransmission timeout before it has any
+	// RTT sample (default 200). A message's timeout additionally never
+	// drops below twice its data + ack serialization time, so a sender can
+	// never time out a packet that has not finished leaving the radio.
+	InitialRTOMS float64
+	// MinRTOMS and MaxRTOMS clamp the adaptive timeout (defaults 1 and
+	// 60000). Backoff doubles the timeout per retransmission up to the cap.
+	MinRTOMS float64
+	MaxRTOMS float64
+	// DeadlineMS closes every destination's round at this simulated time,
+	// emitting whatever partial coverage has arrived (0 = unbounded).
+	DeadlineMS float64
+	// DedupWindow is the per-link (epoch, seq) window depth a real mote is
+	// assumed to keep (default 64). The simulator always dedups exactly —
+	// values never double-count — but any duplicate that a window this
+	// size would have let through is reported in WindowOverflows.
+	DedupWindow int
+	// ByteTimeMS is the serialization time of one on-air byte (default
+	// 8/38.4 ≈ 0.208, the CC1000's 38.4 kbaud Manchester link).
+	ByteTimeMS float64
+}
+
+// DefaultByteTimeMS is the CC1000 serialization time of one byte.
+const DefaultByteTimeMS = 8.0 / 38.4
+
+func (c AsyncConfig) withDefaults() AsyncConfig {
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.InitialRTOMS == 0 {
+		c.InitialRTOMS = 200
+	}
+	if c.MinRTOMS == 0 {
+		c.MinRTOMS = 1
+	}
+	if c.MaxRTOMS == 0 {
+		c.MaxRTOMS = 60000
+	}
+	if c.DedupWindow == 0 {
+		c.DedupWindow = 64
+	}
+	if c.ByteTimeMS == 0 {
+		c.ByteTimeMS = DefaultByteTimeMS
+	}
+	return c
+}
+
+// Validate rejects configurations the executor cannot run.
+func (c AsyncConfig) Validate() error {
+	d := c.withDefaults()
+	if d.InitialRTOMS < 0 || d.MinRTOMS < 0 || d.MaxRTOMS < d.MinRTOMS {
+		return fmt.Errorf("sim: RTO bounds [%v, %v] (initial %v) invalid", d.MinRTOMS, d.MaxRTOMS, d.InitialRTOMS)
+	}
+	if d.DeadlineMS < 0 {
+		return fmt.Errorf("sim: negative deadline %v", d.DeadlineMS)
+	}
+	if d.DedupWindow < 0 {
+		return fmt.Errorf("sim: negative dedup window %d", d.DedupWindow)
+	}
+	if d.ByteTimeMS <= 0 {
+		return fmt.Errorf("sim: non-positive byte time %v", d.ByteTimeMS)
+	}
+	return nil
+}
+
+// rttEstimator is the Jacobson/Karels smoothed RTT tracker: srtt and
+// rttvar EWMAs with the classic gains (α=1/8, β=1/4), RTO = srtt+4·rttvar.
+type rttEstimator struct {
+	srtt, rttvar float64
+	valid        bool
+}
+
+// observe folds one RTT sample in. Per Karn's algorithm callers must not
+// sample retransmitted messages (the ack is ambiguous).
+func (r *rttEstimator) observe(ms float64) {
+	if !r.valid {
+		r.srtt = ms
+		r.rttvar = ms / 2
+		r.valid = true
+		return
+	}
+	d := ms - r.srtt
+	if d < 0 {
+		d = -d
+	}
+	r.rttvar += 0.25 * (d - r.rttvar)
+	r.srtt += 0.125 * (ms - r.srtt)
+}
+
+// rto is the current retransmission timeout under cfg's clamps.
+func (r *rttEstimator) rto(cfg AsyncConfig) float64 {
+	if !r.valid {
+		return cfg.InitialRTOMS
+	}
+	rto := r.srtt + 4*r.rttvar
+	if rto < cfg.MinRTOMS {
+		rto = cfg.MinRTOMS
+	}
+	if rto > cfg.MaxRTOMS {
+		rto = cfg.MaxRTOMS
+	}
+	return rto
+}
+
+// AsyncResult reports one asynchronous round. It embeds the synchronous
+// LossyResult (values, per-destination reports, outcomes, energy) and adds
+// the timing-channel observables.
+type AsyncResult struct {
+	LossyResult
+	// MakespanMS is when the round's last delivery or give-up settled.
+	MakespanMS float64
+	// DupCopies counts copies the dedup window discarded: injector
+	// duplicates plus spurious-retransmission arrivals.
+	DupCopies int
+	// Reordered counts messages whose first copy arrived behind a
+	// higher-sequence message on the same link.
+	Reordered int
+	// SpuriousTx counts retransmissions of messages whose data had already
+	// arrived (the RTO fired while the ack was still in flight).
+	SpuriousTx int
+	// DeadlineClosed counts destinations whose round the deadline closed.
+	DeadlineClosed int
+	// MaxDedupDepth is the deepest window position a duplicate was caught
+	// at; a real mote needs DedupWindow of at least this.
+	MaxDedupDepth int
+	// WindowOverflows counts duplicates that arrived deeper than the
+	// configured DedupWindow — a mote with that window would have
+	// double-counted them (the simulator still dedups exactly).
+	WindowOverflows int
+}
+
+// linkKey is a direction-normalized physical link (RTT state is shared by
+// both directions of a link).
+type linkKey struct{ a, b graph.NodeID }
+
+func linkKeyOf(e routing.Edge) linkKey {
+	if e.From <= e.To {
+		return linkKey{e.From, e.To}
+	}
+	return linkKey{e.To, e.From}
+}
+
+// asyncTopo is the message-level view of the plan the event loop runs on:
+// which messages wait for which, and which messages feed each
+// destination's final merge.
+type asyncTopo struct {
+	deps       [][]int              // deps[m] = messages m's payload waits for
+	dependents [][]int              // inverse of deps
+	relevant   [][]graph.NodeID     // relevant[m] = dests whose final merge reads m
+	inCount    map[graph.NodeID]int // per-dest count of relevant in-messages
+	seqTag     []uint32             // per-link wire sequence tag of each message
+}
+
+// asyncTopology derives (and caches) the message DAG from the unit-level
+// wait-for sets of buildDeps.
+func (e *Engine) asyncTopology() *asyncTopo {
+	if e.topo != nil {
+		return e.topo
+	}
+	t := &asyncTopo{
+		deps:       make([][]int, len(e.messages)),
+		dependents: make([][]int, len(e.messages)),
+		relevant:   make([][]graph.NodeID, len(e.messages)),
+		inCount:    make(map[graph.NodeID]int),
+		seqTag:     make([]uint32, len(e.messages)),
+	}
+	unitMsg := make([]int, len(e.units))
+	for mi, msg := range e.messages {
+		for _, ui := range msg {
+			unitMsg[ui] = mi
+		}
+	}
+	inst := e.Plan.Inst
+	nextSeq := make(map[routing.Edge]uint32)
+	for mi, msg := range e.messages {
+		edge := e.units[msg[0]].Edge
+		t.seqTag[mi] = nextSeq[edge]
+		nextSeq[edge]++
+
+		seen := make(map[int]bool)
+		for _, ui := range msg {
+			for _, dep := range e.deps[ui] {
+				dm := unitMsg[dep]
+				if dm != mi && !seen[dm] {
+					seen[dm] = true
+					t.deps[mi] = append(t.deps[mi], dm)
+					t.dependents[dm] = append(t.dependents[dm], mi)
+				}
+			}
+		}
+		sort.Ints(t.deps[mi])
+
+		// Relevance to the receiver's own aggregate: the record tagged for
+		// it, or a raw value this edge is the designated provider of.
+		if spec, ok := inst.SpecByDest[edge.To]; ok {
+			f := spec.Func
+			var rel bool
+			for _, ui := range msg {
+				u := e.units[ui]
+				switch {
+				case u.Kind == plan.UnitAgg && u.Node == edge.To:
+					rel = true
+				case u.Kind == plan.UnitRaw && f.HasSource(u.Node) &&
+					e.provider[nodeSource{node: edge.To, source: u.Node}] == edge:
+					rel = true
+				}
+			}
+			if rel {
+				t.relevant[mi] = append(t.relevant[mi], edge.To)
+				t.inCount[edge.To]++
+			}
+		}
+	}
+	for mi := range t.dependents {
+		sort.Ints(t.dependents[mi])
+	}
+	e.topo = t
+	return t
+}
+
+// AsyncRunner executes rounds on the event-driven engine while carrying
+// the cross-round adaptive state: per-link RTT estimators and the
+// per-destination last-known-value cache that prices staleness. One runner
+// serves one engine; sessions that replan build a new runner and inherit
+// the old one's caches with InheritState.
+type AsyncRunner struct {
+	eng *Engine
+	cfg AsyncConfig
+
+	rtt       map[linkKey]*rttEstimator
+	lastVal   map[graph.NodeID]float64
+	lastFresh map[graph.NodeID]int
+}
+
+// NewAsyncRunner prepares asynchronous execution of the engine's plan.
+func NewAsyncRunner(e *Engine, cfg AsyncConfig) (*AsyncRunner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &AsyncRunner{
+		eng:       e,
+		cfg:       cfg.withDefaults(),
+		rtt:       make(map[linkKey]*rttEstimator),
+		lastVal:   make(map[graph.NodeID]float64),
+		lastFresh: make(map[graph.NodeID]int),
+	}, nil
+}
+
+// InheritState adopts another runner's RTT estimators and last-known-value
+// cache — used when a session replans mid-run: the physical links (and the
+// destinations that survived) keep their history.
+func (a *AsyncRunner) InheritState(prev *AsyncRunner) {
+	if prev == nil {
+		return
+	}
+	for k, v := range prev.rtt {
+		a.rtt[k] = v
+	}
+	for d, v := range prev.lastVal {
+		a.lastVal[d] = v
+	}
+	for d, r := range prev.lastFresh {
+		a.lastFresh[d] = r
+	}
+}
+
+// RunAsync executes one round on a fresh AsyncRunner — no RTT or staleness
+// state carried across calls. Sessions that want cross-round adaptation
+// hold an AsyncRunner instead.
+func (e *Engine) RunAsync(round int, readings map[graph.NodeID]float64, faults Faults, cfg AsyncConfig) (*AsyncResult, error) {
+	r, err := NewAsyncRunner(e, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(round, readings, faults)
+}
+
+// Event kinds, in same-timestamp processing order: deliveries and acks
+// settle before new sends and timeouts fire, and the deadline is the very
+// last thing to happen at its instant — a delivery exactly at the deadline
+// still counts.
+const (
+	evArrive = iota
+	evAck
+	evSend
+	evTimeout
+	evDeadline
+)
+
+type asyncEvent struct {
+	t       float64
+	kind    int
+	seq     int // FIFO tiebreak within (t, kind)
+	msg     int
+	attempt int // wire attempt sequence (Deliver draw index)
+	copy    int
+}
+
+type eventQueue []asyncEvent
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	if q[i].kind != q[j].kind {
+		return q[i].kind < q[j].kind
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(asyncEvent)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// amsg is one planned message's live state in the event loop.
+type amsg struct {
+	edge          routing.Edge
+	waiting       int
+	fired         bool
+	resolved      bool
+	delivered     bool
+	acked         bool
+	retransmitted bool
+	anyCopyComing bool
+	attempts      int
+	copies        int
+	body          int
+	firstSendAt   float64
+	rto           float64
+	raws          []carriedRaw
+	recs          []carriedRec
+}
+
+// contrib is one delivered partial record at a node, remembered with the
+// planned index of the message that carried it so folds replay the
+// synchronous merge order exactly.
+type contrib struct {
+	msgIdx int
+	rec    agg.Record
+	cov    map[graph.NodeID]bool
+}
+
+// Run executes one asynchronous round. With a nil or fault-free schedule
+// the result is byte-identical to Engine.Run (values and energy); under
+// duplication and reordering only timing and energy may change, never the
+// delivered values.
+func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults Faults) (*AsyncResult, error) {
+	var af AsyncFaults
+	switch f := faults.(type) {
+	case nil:
+		af = zeroAsync{noFaults{}}
+	case AsyncFaults:
+		af = f
+	default:
+		af = zeroAsync{f}
+	}
+	e := a.eng
+	inst := e.Plan.Inst
+	topo := e.asyncTopology()
+	cfg := a.cfg
+
+	res := &AsyncResult{LossyResult: LossyResult{
+		Values:   make(map[graph.NodeID]float64, len(inst.SpecByDest)),
+		Reports:  make(map[graph.NodeID]*DeliveryReport, len(inst.SpecByDest)),
+		PerNodeJ: make(map[graph.NodeID]float64),
+		Messages: len(e.messages),
+	}}
+
+	rawVal := make(map[nodeSource]float64)
+	contribs := make(map[nodeDest][]contrib)
+	for _, s := range inst.Sources() {
+		if !af.NodeDead(round, s) {
+			rawVal[nodeSource{node: s, source: s}] = readings[s]
+		}
+	}
+
+	msgs := make([]amsg, len(e.messages))
+	for mi, msg := range e.messages {
+		msgs[mi].edge = e.units[msg[0]].Edge
+		msgs[mi].waiting = len(topo.deps[mi])
+	}
+
+	// Per-destination round state. Dead destinations are reported closed
+	// up front, exactly like the synchronous executor.
+	closed := make(map[graph.NodeID]bool)
+	pendingIn := make(map[graph.NodeID]int)
+	for _, d := range inst.Dests() {
+		if !af.NodeDead(round, d) {
+			pendingIn[d] = topo.inCount[d]
+			continue
+		}
+		closed[d] = true
+		rep := &DeliveryReport{Dest: d, DestDead: true, Starved: true}
+		rep.Missing = append([]graph.NodeID(nil), inst.SpecByDest[d].Func.Sources()...)
+		a.ageReport(rep, round)
+		res.Reports[d] = rep
+	}
+
+	// Per-link receive window: applied (epoch, seq) tags and the highest
+	// tag heard, for dedup and reorder detection.
+	applied := make(map[routing.Edge]map[uint32]bool)
+	maxTag := make(map[routing.Edge]uint32)
+	hasTag := make(map[routing.Edge]bool)
+	attemptSeq := make(map[routing.Edge]int)
+
+	var q eventQueue
+	pushSeq := 0
+	push := func(t float64, kind, msg, attempt, copy int) {
+		pushSeq++
+		heap.Push(&q, asyncEvent{t: t, kind: kind, seq: pushSeq, msg: msg, attempt: attempt, copy: copy})
+	}
+
+	serMS := func(bodyBytes int) float64 {
+		return cfg.ByteTimeMS * float64(e.Radio.MessageBytes(bodyBytes))
+	}
+	serAckMS := cfg.ByteTimeMS * float64(e.Radio.HeaderBytes)
+
+	var runErr error
+	note := func(t float64) {
+		if t > res.MakespanMS {
+			res.MakespanMS = t
+		}
+	}
+
+	closeDest := func(d graph.NodeID, t float64, deadlineHit bool) {
+		if closed[d] || runErr != nil {
+			return
+		}
+		closed[d] = true
+		f := inst.SpecByDest[d].Func
+		rec, cv, err := a.assembleAt(d, d, routing.Edge{}, rawVal, contribs)
+		if err != nil {
+			runErr = err
+			return
+		}
+		rep := &DeliveryReport{Dest: d, ClosedAtMS: t}
+		for _, s := range f.Sources() {
+			if cv[s] {
+				rep.Covered = append(rep.Covered, s)
+			} else {
+				rep.Missing = append(rep.Missing, s)
+			}
+		}
+		if rec == nil {
+			rep.Starved = true
+		} else {
+			rep.Fresh = len(rep.Missing) == 0
+			res.Values[d] = f.Eval(rec)
+		}
+		// A deadline close with full coverage degrades nothing.
+		rep.DeadlineHit = deadlineHit && !rep.Fresh
+		if rep.DeadlineHit {
+			res.DeadlineClosed++
+		}
+		if rep.Fresh {
+			a.lastVal[d] = res.Values[d]
+			a.lastFresh[d] = round
+		}
+		a.ageReport(rep, round)
+		res.Reports[d] = rep
+	}
+
+	var resolve func(mi int, t float64)
+	resolve = func(mi int, t float64) {
+		st := &msgs[mi]
+		if st.resolved {
+			return
+		}
+		st.resolved = true
+		note(t)
+		for _, dm := range topo.dependents[mi] {
+			ds := &msgs[dm]
+			ds.waiting--
+			if ds.waiting == 0 {
+				push(t, evSend, dm, 0, 0)
+			}
+		}
+		for _, d := range topo.relevant[mi] {
+			if closed[d] {
+				continue
+			}
+			pendingIn[d]--
+			if pendingIn[d] == 0 {
+				closeDest(d, t, false)
+			}
+		}
+	}
+
+	transmit := func(mi int, now float64) {
+		st := &msgs[mi]
+		st.attempts++
+		res.Transmissions++
+		if st.attempts > 1 {
+			res.Retries++
+		}
+		if st.delivered {
+			res.SpuriousTx++
+		}
+		wireAtt := attemptSeq[st.edge]
+		attemptSeq[st.edge] = wireAtt + 1
+		if !af.NodeDead(round, st.edge.To) && af.Deliver(round, st.edge, wireAtt) {
+			st.anyCopyComing = true
+			copies := 1 + af.Duplicates(round, st.edge, wireAtt)
+			for c := 0; c < copies; c++ {
+				lat := af.LatencyMS(round, st.edge, wireAtt, 2*c)
+				push(now+serMS(st.body)+lat, evArrive, mi, wireAtt, c)
+			}
+		}
+		push(now+st.rto, evTimeout, mi, st.attempts, 0)
+	}
+
+	// Seed the loop: every message with no dependencies fires at t=0, in
+	// planned order.
+	for mi := range msgs {
+		if msgs[mi].waiting == 0 {
+			push(0, evSend, mi, 0, 0)
+		}
+	}
+	if cfg.DeadlineMS > 0 {
+		push(cfg.DeadlineMS, evDeadline, -1, 0, 0)
+	}
+
+	for q.Len() > 0 && runErr == nil {
+		ev := heap.Pop(&q).(asyncEvent)
+		switch ev.kind {
+		case evSend:
+			st := &msgs[ev.msg]
+			if af.NodeDead(round, st.edge.From) {
+				// Dead sender: silence, no attempts, no energy.
+				resolve(ev.msg, ev.t)
+				continue
+			}
+			// Snapshot the payload from what has arrived by now; every
+			// retransmission carries these same bytes under the same tag.
+			st.fired = true
+			for _, ui := range e.messages[ev.msg] {
+				u := e.units[ui]
+				if u.Kind == plan.UnitRaw {
+					if v, ok := rawVal[nodeSource{node: st.edge.From, source: u.Node}]; ok {
+						st.raws = append(st.raws, carriedRaw{src: u.Node, val: v})
+						st.body += e.Plan.Bytes(u)
+					}
+					continue
+				}
+				rec, cv, err := a.assembleAt(st.edge.From, u.Node, st.edge, rawVal, contribs)
+				if err != nil {
+					runErr = err
+					break
+				}
+				if rec != nil {
+					st.recs = append(st.recs, carriedRec{dest: u.Node, rec: rec, cov: cv})
+					st.body += e.Plan.Bytes(u)
+				}
+			}
+			est := a.estimator(st.edge)
+			st.rto = est.rto(cfg)
+			if floor := 2 * (serMS(st.body) + serAckMS); st.rto < floor {
+				st.rto = floor
+			}
+			st.firstSendAt = ev.t
+			transmit(ev.msg, ev.t)
+
+		case evArrive:
+			st := &msgs[ev.msg]
+			st.copies++
+			note(ev.t)
+			tag := topo.seqTag[ev.msg]
+			win := applied[st.edge]
+			if win == nil {
+				win = make(map[uint32]bool)
+				applied[st.edge] = win
+			}
+			if win[tag] {
+				// The dedup window catches the copy: paid for (RX), then
+				// discarded — the merge never sees it twice.
+				res.DupCopies++
+				if depth := int(maxTag[st.edge] - tag); depth > 0 {
+					if depth > res.MaxDedupDepth {
+						res.MaxDedupDepth = depth
+					}
+					if depth >= cfg.DedupWindow {
+						res.WindowOverflows++
+					}
+				}
+			} else {
+				win[tag] = true
+				if hasTag[st.edge] && tag < maxTag[st.edge] {
+					res.Reordered++
+				}
+				if !hasTag[st.edge] || tag > maxTag[st.edge] {
+					maxTag[st.edge] = tag
+					hasTag[st.edge] = true
+				}
+				st.delivered = true
+				for _, cr := range st.raws {
+					rawVal[nodeSource{node: st.edge.To, source: cr.src}] = cr.val
+				}
+				for _, cr := range st.recs {
+					key := nodeDest{node: st.edge.To, dest: cr.dest}
+					contribs[key] = append(contribs[key], contrib{msgIdx: ev.msg, rec: cr.rec, cov: cr.cov})
+				}
+				resolve(ev.msg, ev.t)
+			}
+			// The receiver acknowledges every copy it hears; acks are
+			// header-only and priced as free, like the synchronous ARQ's
+			// implicit acks.
+			ackLat := af.LatencyMS(round, st.edge, ev.attempt, 2*ev.copy+1)
+			push(ev.t+serAckMS+ackLat, evAck, ev.msg, ev.attempt, ev.copy)
+
+		case evAck:
+			st := &msgs[ev.msg]
+			note(ev.t)
+			if st.acked {
+				continue
+			}
+			st.acked = true
+			if !st.retransmitted {
+				// Karn's algorithm: only a never-retransmitted message
+				// yields an unambiguous RTT sample.
+				a.estimator(st.edge).observe(ev.t - st.firstSendAt)
+			}
+
+		case evTimeout:
+			st := &msgs[ev.msg]
+			if st.acked || ev.attempt != st.attempts {
+				continue // answered, or superseded by a later attempt
+			}
+			if st.attempts <= cfg.MaxRetries {
+				st.retransmitted = true
+				st.rto *= 2
+				if st.rto > cfg.MaxRTOMS {
+					st.rto = cfg.MaxRTOMS
+				}
+				transmit(ev.msg, ev.t)
+			} else if !st.anyCopyComing {
+				// Budget exhausted and nothing in flight: the message is
+				// lost for good.
+				resolve(ev.msg, ev.t)
+			}
+
+		case evDeadline:
+			for _, d := range inst.Dests() {
+				closeDest(d, ev.t, true)
+			}
+		}
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	// Settle the books in planned order.
+	for mi := range msgs {
+		st := &msgs[mi]
+		res.Outcomes = append(res.Outcomes, EdgeOutcome{
+			Edge:      st.edge,
+			Attempts:  st.attempts,
+			Delivered: st.delivered,
+			BodyBytes: st.body,
+		})
+		if !st.delivered {
+			res.Dropped++
+		}
+		if st.attempts == 0 {
+			continue
+		}
+		txJ := e.Radio.TxJoules(st.body)
+		rxJ := e.Radio.RxJoules(st.body)
+		if st.delivered && st.attempts == 1 && st.copies == 1 {
+			res.EnergyJ += e.Radio.UnicastJoules(st.body)
+		} else {
+			res.EnergyJ += float64(st.attempts)*txJ + float64(st.copies)*rxJ
+		}
+		res.PerNodeJ[st.edge.From] += float64(st.attempts) * txJ
+		if st.copies > 0 {
+			res.PerNodeJ[st.edge.To] += float64(st.copies) * rxJ
+		}
+	}
+	return res, nil
+}
+
+// estimator returns (creating on demand) the RTT tracker of e's link.
+func (a *AsyncRunner) estimator(e routing.Edge) *rttEstimator {
+	k := linkKeyOf(e)
+	est := a.rtt[k]
+	if est == nil {
+		est = &rttEstimator{}
+		a.rtt[k] = est
+	}
+	return est
+}
+
+// ageReport fills the staleness fields from the last-known-value cache.
+func (a *AsyncRunner) ageReport(rep *DeliveryReport, round int) {
+	if rep.Fresh {
+		return
+	}
+	if lf, ok := a.lastFresh[rep.Dest]; ok {
+		rep.AgeRounds = round - lf
+	} else {
+		rep.AgeRounds = round + 1 // never served fresh
+	}
+	if v, ok := a.lastVal[rep.Dest]; ok {
+		rep.LastKnown = v
+		rep.HasLastKnown = true
+	}
+}
+
+// assembleAt is assembleLossy over the event-driven state: the node's
+// record contributions are folded in planned message order first, so the
+// float merge sequence is identical to the synchronous executor's however
+// the arrivals interleaved.
+func (a *AsyncRunner) assembleAt(n, d graph.NodeID, out routing.Edge, rawVal map[nodeSource]float64, contribs map[nodeDest][]contrib) (agg.Record, map[graph.NodeID]bool, error) {
+	key := nodeDest{node: n, dest: d}
+	recView := make(map[nodeDest]agg.Record, 1)
+	covView := make(map[nodeDest]map[graph.NodeID]bool, 1)
+	if cs := contribs[key]; len(cs) > 0 {
+		f := a.eng.Plan.Inst.SpecByDest[d].Func
+		rec, cov := foldContribs(f, cs)
+		recView[key] = rec
+		covView[key] = cov
+	}
+	return a.eng.assembleLossy(n, d, out, rawVal, recView, covView)
+}
+
+// foldContribs merges a node's record contributions ascending by planned
+// message index — the exact order RunLossy accumulates them in.
+func foldContribs(f agg.Func, cs []contrib) (agg.Record, map[graph.NodeID]bool) {
+	sorted := append([]contrib(nil), cs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].msgIdx < sorted[j].msgIdx })
+	rec := sorted[0].rec
+	cov := make(map[graph.NodeID]bool, len(sorted[0].cov))
+	for s := range sorted[0].cov {
+		cov[s] = true
+	}
+	for _, c := range sorted[1:] {
+		rec = f.Merge(rec, c.rec)
+		for s := range c.cov {
+			cov[s] = true
+		}
+	}
+	return rec, cov
+}

@@ -45,6 +45,8 @@ type Engine struct {
 	energyJ   float64
 	bodyBytes int
 	perNodeJ  map[graph.NodeID]float64
+
+	topo *asyncTopo // lazily built message-level DAG for the async executor
 }
 
 // Options configures engine construction.

@@ -47,6 +47,93 @@ type DeliveryReport struct {
 	// DestDead is true when the destination itself has crashed; such a
 	// destination is also reported as starved.
 	DestDead bool
+
+	// The remaining fields are filled by the asynchronous executor (and,
+	// for AgeRounds, by sessions that keep a last-known-value cache); the
+	// synchronous executors leave them zero.
+
+	// ClosedAtMS is the simulated time at which the destination's round
+	// closed: when its last input resolved, or at the deadline.
+	ClosedAtMS float64
+	// DeadlineHit is true when the round's deadline forced the close while
+	// inputs were still unresolved — the graceful-degradation path. A
+	// deadline-hit destination is never fresh.
+	DeadlineHit bool
+	// AgeRounds is how many rounds have passed since this destination was
+	// last served fresh (0 when fresh this round).
+	AgeRounds int
+	// LastKnown is the most recent exact value the last-known-value cache
+	// holds for this destination; HasLastKnown guards it. A starved or
+	// stale destination's consumer can fall back on it, aged by AgeRounds.
+	LastKnown    float64
+	HasLastKnown bool
+}
+
+// Validate checks the report's internal invariants: Covered and Missing
+// are ascending and disjoint, the freshness flags are mutually consistent,
+// and the staleness fields are sane. Executors must only ever produce
+// reports that pass; tests assert it on every report they see.
+func (r *DeliveryReport) Validate() error {
+	for i := 1; i < len(r.Covered); i++ {
+		if r.Covered[i-1] >= r.Covered[i] {
+			t := "unsorted"
+			if r.Covered[i-1] == r.Covered[i] {
+				t = "duplicate"
+			}
+			return fmt.Errorf("sim: report for %d: %s Covered at %d", r.Dest, t, i)
+		}
+	}
+	for i := 1; i < len(r.Missing); i++ {
+		if r.Missing[i-1] >= r.Missing[i] {
+			t := "unsorted"
+			if r.Missing[i-1] == r.Missing[i] {
+				t = "duplicate"
+			}
+			return fmt.Errorf("sim: report for %d: %s Missing at %d", r.Dest, t, i)
+		}
+	}
+	miss := make(map[graph.NodeID]bool, len(r.Missing))
+	for _, s := range r.Missing {
+		miss[s] = true
+	}
+	for _, s := range r.Covered {
+		if miss[s] {
+			return fmt.Errorf("sim: report for %d: source %d both covered and missing", r.Dest, s)
+		}
+	}
+	switch {
+	case r.Fresh && r.Starved:
+		return fmt.Errorf("sim: report for %d both fresh and starved", r.Dest)
+	case r.Fresh && len(r.Missing) > 0:
+		return fmt.Errorf("sim: fresh report for %d misses %d sources", r.Dest, len(r.Missing))
+	case r.Starved && len(r.Covered) > 0:
+		return fmt.Errorf("sim: starved report for %d covers %d sources", r.Dest, len(r.Covered))
+	case r.DestDead && !r.Starved:
+		return fmt.Errorf("sim: dead destination %d not starved", r.Dest)
+	case r.DeadlineHit && r.Fresh:
+		return fmt.Errorf("sim: report for %d both deadline-hit and fresh", r.Dest)
+	case r.AgeRounds < 0:
+		return fmt.Errorf("sim: report for %d has negative staleness age %d", r.Dest, r.AgeRounds)
+	case r.Fresh && r.AgeRounds != 0:
+		return fmt.Errorf("sim: fresh report for %d aged %d rounds", r.Dest, r.AgeRounds)
+	case r.ClosedAtMS < 0:
+		return fmt.Errorf("sim: report for %d closed at negative time %v", r.Dest, r.ClosedAtMS)
+	}
+	return nil
+}
+
+// carriedRaw and carriedRec are a message's payload snapshot: the raw
+// values and partial records actually available at the sender when the
+// message (first) transmits. Both lossy executors share them.
+type carriedRaw struct {
+	src graph.NodeID
+	val float64
+}
+
+type carriedRec struct {
+	dest graph.NodeID
+	rec  agg.Record
+	cov  map[graph.NodeID]bool
 }
 
 // EdgeOutcome is the observable fate of one planned message: how many
@@ -133,15 +220,6 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 		}
 
 		// Gather the units whose content is available at the sender.
-		type carriedRaw struct {
-			src graph.NodeID
-			val float64
-		}
-		type carriedRec struct {
-			dest graph.NodeID
-			rec  agg.Record
-			cov  map[graph.NodeID]bool
-		}
 		var raws []carriedRaw
 		var recs []carriedRec
 		body := 0

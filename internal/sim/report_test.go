@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2m/internal/graph"
+	"m2m/internal/plan"
+	"m2m/internal/radio"
+)
+
+func TestDeliveryReportValidate(t *testing.T) {
+	ok := []DeliveryReport{
+		{Dest: 1, Fresh: true, Covered: []graph.NodeID{2, 3, 5}},
+		{Dest: 1, Starved: true, Missing: []graph.NodeID{2, 3}},
+		{Dest: 1, DestDead: true, Starved: true, Missing: []graph.NodeID{4}},
+		{Dest: 1, Covered: []graph.NodeID{2}, Missing: []graph.NodeID{3}, AgeRounds: 4, DeadlineHit: true, ClosedAtMS: 120, LastKnown: 7, HasLastKnown: true},
+	}
+	for i, r := range ok {
+		if err := r.Validate(); err != nil {
+			t.Errorf("valid report %d rejected: %v", i, err)
+		}
+	}
+	bad := []DeliveryReport{
+		{Dest: 1, Covered: []graph.NodeID{3, 2}},
+		{Dest: 1, Covered: []graph.NodeID{2, 2}},
+		{Dest: 1, Missing: []graph.NodeID{5, 4}},
+		{Dest: 1, Covered: []graph.NodeID{2}, Missing: []graph.NodeID{2, 3}},
+		{Dest: 1, Fresh: true, Starved: true},
+		{Dest: 1, Fresh: true, Missing: []graph.NodeID{2}},
+		{Dest: 1, Starved: true, Covered: []graph.NodeID{2}},
+		{Dest: 1, DestDead: true},
+		{Dest: 1, Fresh: true, DeadlineHit: true},
+		{Dest: 1, AgeRounds: -1},
+		{Dest: 1, Fresh: true, AgeRounds: 2},
+		{Dest: 1, ClosedAtMS: -3},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("invalid report %d accepted: %+v", i, r)
+		}
+	}
+}
+
+// Every report the lossy executor emits must pass Validate, across clean,
+// lossy, and crashed rounds.
+func TestLossyReportsAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	inst := buildInstance(t, rng, 40, 6, 6, false)
+	p, err := plan.Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p, radio.DefaultModel(), Options{MergeMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := randomReadings(rng, inst.Net.Len())
+	down := map[graph.NodeID]bool{}
+	for _, d := range inst.Dests() {
+		down[d] = true // crash one destination to exercise DestDead
+		break
+	}
+	schedules := []Faults{
+		nil,
+		edgeFaults{down: nil, dead: down},
+	}
+	for si, f := range schedules {
+		res, err := eng.RunLossy(si, readings, f, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d, rep := range res.Reports {
+			if err := rep.Validate(); err != nil {
+				t.Errorf("schedule %d dest %d: %v", si, d, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"m2m/internal/plan"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	units := []Unit{
+		{Kind: plan.UnitAgg, Node: 9, Values: []float64{2, 3, -1.5}},
+		{Kind: plan.UnitRaw, Node: 1, Values: []float64{-4}},
+	}
+	b, err := EncodeFrame(7, 42, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != FrameLen(units) {
+		t.Fatalf("encoded %d bytes, FrameLen says %d", len(b), FrameLen(units))
+	}
+	f, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Legacy || f.Epoch != 7 || f.Seq != 42 {
+		t.Fatalf("tag = (%d, %d) legacy=%v, want (7, 42)", f.Epoch, f.Seq, f.Legacy)
+	}
+	if len(f.Units) != 2 || f.Units[0].Node != 9 || f.Units[1].Values[0] != -4 {
+		t.Fatalf("units corrupted: %+v", f.Units)
+	}
+}
+
+// Old-format bodies must keep decoding: DecodeFrame falls back to the
+// legacy layout with a zero tag.
+func TestFrameLegacyBackcompat(t *testing.T) {
+	units := []Unit{{Kind: plan.UnitRaw, Node: 3, Values: []float64{1.5}}}
+	legacy, err := EncodeMessage(units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy[0] == FrameMagic {
+		t.Fatalf("legacy body unexpectedly starts with the magic byte")
+	}
+	f, err := DecodeFrame(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Legacy || f.Epoch != 0 || f.Seq != 0 {
+		t.Fatalf("legacy decode = %+v, want Legacy with zero tag", f)
+	}
+	if len(f.Units) != 1 || f.Units[0].Node != 3 {
+		t.Fatalf("legacy units corrupted: %+v", f.Units)
+	}
+}
+
+func TestFrameRejects(t *testing.T) {
+	if _, err := DecodeFrame(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	if _, err := DecodeFrame([]byte{FrameMagic, FrameVersion, 0, 0}); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := DecodeFrame([]byte{FrameMagic, 99, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("unknown version accepted")
+	}
+	b, err := EncodeFrame(1, 1, []Unit{{Kind: plan.UnitRaw, Node: 1, Values: []float64{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrame(b[:len(b)-2]); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestTagLess(t *testing.T) {
+	cases := []struct {
+		ae, as, be, bs uint32
+		want           bool
+	}{
+		{1, 5, 2, 0, true},
+		{2, 0, 1, 5, false},
+		{3, 1, 3, 2, true},
+		{3, 2, 3, 2, false},
+	}
+	for _, c := range cases {
+		if got := TagLess(c.ae, c.as, c.be, c.bs); got != c.want {
+			t.Errorf("TagLess(%d,%d, %d,%d) = %v", c.ae, c.as, c.be, c.bs, got)
+		}
+	}
+}
+
+func TestFrameHeaderLayout(t *testing.T) {
+	b, err := EncodeFrame(0x01020304, 0x0A0B0C0D, []Unit{{Kind: plan.UnitRaw, Node: 1, Values: []float64{1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{FrameMagic, FrameVersion, 1, 2, 3, 4, 0x0A, 0x0B, 0x0C, 0x0D}
+	if !bytes.Equal(b[:FrameHeaderBytes], want) {
+		t.Fatalf("header bytes % x, want % x", b[:FrameHeaderBytes], want)
+	}
+}

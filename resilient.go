@@ -47,6 +47,35 @@ func ExecuteLossy(p *Plan, net *Network, round int, readings map[NodeID]float64,
 	return eng.RunLossy(round, readings, faults, maxRetries)
 }
 
+// AsyncConfig tunes the event-driven asynchronous executor: adaptive
+// retransmission bounds, the round deadline, and the dedup window.
+type AsyncConfig = sim.AsyncConfig
+
+// AsyncResult reports one asynchronous round: the lossy result plus
+// timing, duplication, and deadline telemetry.
+type AsyncResult = sim.AsyncResult
+
+// AsyncFaultSchedule extends a fault schedule with per-attempt latency
+// and duplication draws. FaultInjector implements it once jitter,
+// duplication, or reordering are configured.
+type AsyncFaultSchedule = sim.AsyncFaults
+
+// ExecuteAsync runs one event-driven round of p on net: every
+// transmission takes a per-link latency draw, lost ones are retransmitted
+// under an adaptive per-link RTO, duplicate deliveries are absorbed by
+// the (epoch, seq) dedup window, and destinations close at cfg.DeadlineMS
+// (if set) with their best partial aggregate. With a nil schedule the
+// round is byte-identical to Execute. Schedules that also implement
+// AsyncFaultSchedule contribute latency and duplication; plain ones get
+// zero-latency channels.
+func ExecuteAsync(p *Plan, net *Network, round int, readings map[NodeID]float64, faults FaultSchedule, cfg AsyncConfig) (*AsyncResult, error) {
+	eng, err := sim.NewEngine(p, net.Radio, sim.Options{MergeMessages: true})
+	if err != nil {
+		return nil, err
+	}
+	return eng.RunAsync(round, readings, faults, cfg)
+}
+
 // RecoveryEvent records one permanent-failure recovery performed by a
 // ResilientSession.
 type RecoveryEvent struct {
@@ -87,6 +116,14 @@ type ResilientConfig struct {
 	// link the session rides out with milestone detours before it stops
 	// paying for them (default 5). Any delivery on the link resets it.
 	DetourBudget int
+	// Async, when non-nil, switches rounds to the event-driven
+	// asynchronous executor: adaptive per-link retransmission timers
+	// replace the fixed stop-and-wait budget, duplicated and reordered
+	// deliveries are tolerated, and destinations close at the configured
+	// deadline with graceful degradation. RTT estimators and last-known
+	// value caches survive recovery replans. MaxRetries still bounds
+	// retransmissions unless Async.MaxRetries overrides it.
+	Async *AsyncConfig
 }
 
 func (c ResilientConfig) withDefaults() ResilientConfig {
@@ -119,6 +156,12 @@ type ResilientStep struct {
 	// Detours is how many failed messages were ridden out via milestone
 	// detours this round.
 	Detours int
+	// DeadlineMisses counts destinations that closed this round at the
+	// deadline short of full coverage (async mode only).
+	DeadlineMisses int
+	// MakespanMS is the simulated wall-clock length of the round (async
+	// mode only; zero in synchronous mode).
+	MakespanMS float64
 	// Recoveries lists permanent-failure recoveries performed this round
 	// (usually empty).
 	Recoveries []*RecoveryEvent
@@ -154,6 +197,7 @@ type ResilientSession struct {
 	inst   *Instance
 	plan   *Plan
 	engine *sim.Engine
+	runner *sim.AsyncRunner // non-nil when cfg.Async selects the event-driven executor
 	gen    ReadingGenerator
 	faults FaultSchedule
 	cfg    ResilientConfig
@@ -189,6 +233,17 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 	if err != nil {
 		return nil, err
 	}
+	cfg = cfg.withDefaults()
+	var runner *sim.AsyncRunner
+	if cfg.Async != nil {
+		acfg := *cfg.Async
+		if acfg.MaxRetries == 0 {
+			acfg.MaxRetries = cfg.MaxRetries
+		}
+		if runner, err = sim.NewAsyncRunner(eng, acfg); err != nil {
+			return nil, err
+		}
+	}
 	return &ResilientSession{
 		net:        net,
 		kind:       kind,
@@ -196,9 +251,10 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 		inst:       inst,
 		plan:       p,
 		engine:     eng,
+		runner:     runner,
 		gen:        gen,
 		faults:     faults,
-		cfg:        cfg.withDefaults(),
+		cfg:        cfg,
 		values:     make(map[NodeID]float64),
 		misses:     make(map[NodeID]int),
 		firstMiss:  make(map[NodeID]int),
@@ -211,11 +267,31 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 // ride out what looks transient, recover from what looks permanent.
 func (s *ResilientSession) Step() (*ResilientStep, error) {
 	cur := s.gen.Next()
-	res, err := s.engine.RunLossy(s.round, cur, s.faults, s.cfg.MaxRetries)
-	if err != nil {
-		return nil, err
+	var res *sim.LossyResult
+	var async *sim.AsyncResult
+	if s.runner != nil {
+		ar, err := s.runner.Run(s.round, cur, s.faults)
+		if err != nil {
+			return nil, err
+		}
+		async = ar
+		res = &ar.LossyResult
+	} else {
+		var err error
+		res, err = s.engine.RunLossy(s.round, cur, s.faults, s.cfg.MaxRetries)
+		if err != nil {
+			return nil, err
+		}
 	}
 	step := &ResilientStep{Round: s.round, EnergyJ: res.EnergyJ}
+	if async != nil {
+		step.MakespanMS = async.MakespanMS
+		for _, rep := range res.Reports {
+			if rep.DeadlineHit {
+				step.DeadlineMisses++
+			}
+		}
+	}
 
 	// Classify this round's observations. A node is vindicated by any
 	// successful send or receipt; it is implicated by silence (dead
@@ -364,6 +440,20 @@ func (s *ResilientSession) recover(dead NodeID) (*RecoveryEvent, error) {
 	if err != nil {
 		return nil, err
 	}
+	var runner *sim.AsyncRunner
+	if s.runner != nil {
+		// Carry the surviving links' RTT estimators and the last-known
+		// value caches across the replan: the healed plan mostly reuses
+		// the same links, and stale destinations keep their age.
+		acfg := *s.cfg.Async
+		if acfg.MaxRetries == 0 {
+			acfg.MaxRetries = s.cfg.MaxRetries
+		}
+		if runner, err = sim.NewAsyncRunner(eng, acfg); err != nil {
+			return nil, err
+		}
+		runner.InheritState(s.runner)
+	}
 
 	ev := &RecoveryEvent{
 		Dead:          dead,
@@ -387,6 +477,9 @@ func (s *ResilientSession) recover(dead NodeID) (*RecoveryEvent, error) {
 	s.inst = newInst
 	s.plan = recovered
 	s.engine = eng
+	if runner != nil {
+		s.runner = runner
+	}
 	s.dead[dead] = true
 	delete(s.misses, dead)
 	delete(s.firstMiss, dead)

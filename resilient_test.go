@@ -293,3 +293,165 @@ func TestChaosSoakLossAndCrash(t *testing.T) {
 	// rather than declare nodes dead.
 	t.Logf("30 rounds: %d detours, recovery %+v", detours, recs[0])
 }
+
+// TestResilientAsyncFaultFree pins the async zero-fault contract: with no
+// injector the event-driven session reproduces Execute bit for bit —
+// values AND energy — while reporting a positive makespan.
+func TestResilientAsyncFaultFree(t *testing.T) {
+	net, specs, gen := chaosFixture(t, 31)
+	s, err := NewResilientSession(net, specs, RouterReversePath, gen, nil,
+		ResilientConfig{Async: &AsyncConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := net.NewInstance(specs, RouterReversePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Execute(p, net, gen.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		step, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step.EnergyJ != want.EnergyJ {
+			t.Fatalf("round %d: energy %v != %v", r, step.EnergyJ, want.EnergyJ)
+		}
+		if step.Fresh != len(specs) || step.DeadlineMisses != 0 {
+			t.Fatalf("round %d: %+v, want all fresh with no deadline misses", r, step)
+		}
+		if step.MakespanMS <= 0 {
+			t.Fatalf("round %d: makespan %v, want > 0", r, step.MakespanMS)
+		}
+		for d, v := range want.Values {
+			if step.Values[d] != v {
+				t.Fatalf("round %d: value at %d = %v, want %v (bit-exact)", r, d, step.Values[d], v)
+			}
+		}
+	}
+}
+
+// TestResilientAsyncLossyChannel soaks the async session under loss,
+// jitter, duplication, and reordering at once: values served fresh are
+// exact, nothing is ever misdeclared dead, and the dedup window keeps
+// duplicate deliveries from corrupting aggregates.
+func TestResilientAsyncLossyChannel(t *testing.T) {
+	net, specs, gen := chaosFixture(t, 47)
+	inst, err := net.NewInstance(specs, RouterReversePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Execute(p, net, gen.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := NewFaultInjector(47)
+	inj.WithUniformLoss(0.1).WithJitter(2, 15).WithDuplication(0.2).WithReorder(0.2, 30)
+	if err := inj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewResilientSession(net, specs, RouterReversePath, gen, inj,
+		ResilientConfig{Async: &AsyncConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshRounds := 0
+	for r := 0; r < 12; r++ {
+		step, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step.Fresh == len(specs) {
+			freshRounds++
+			for d, v := range want.Values {
+				if step.Values[d] != v {
+					t.Fatalf("round %d: fresh value at %d = %v, want %v", r, d, step.Values[d], v)
+				}
+			}
+		}
+	}
+	if freshRounds == 0 {
+		t.Fatal("10% loss starved every round — adaptive ARQ not riding it out")
+	}
+	if len(s.DeadNodes()) != 0 {
+		t.Fatalf("loss misdeclared nodes dead: %v", s.DeadNodes())
+	}
+}
+
+// TestResilientAsyncCrashRecovery runs the crash soak through the async
+// executor: detection, incremental replan, and post-recovery exactness
+// must all survive the switch, with RTT estimators and last-known caches
+// inherited across the replan.
+func TestResilientAsyncCrashRecovery(t *testing.T) {
+	net, specs, gen := chaosFixture(t, 7)
+	dead := specs[0].Func.Sources()[0]
+	inj := NewFaultInjector(7)
+	inj.Crash(dead, 2)
+	g2, err := failure.RemoveNode(net.Graph, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Components()) > 2 {
+		t.Skip("crash partitions this network; recovery undefined")
+	}
+	s, err := NewResilientSession(net, specs, RouterReversePath, gen, inj,
+		ResilientConfig{MissThreshold: 3, Async: &AsyncConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recovery *RecoveryEvent
+	for r := 0; r < 20 && recovery == nil; r++ {
+		step, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(step.Recoveries) > 0 {
+			recovery = step.Recoveries[0]
+		}
+	}
+	if recovery == nil || recovery.Dead != dead {
+		t.Fatalf("recovery %+v, want node %d declared", recovery, dead)
+	}
+	var last *ResilientStep
+	for r := 0; r < 3; r++ {
+		if last, err = s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if last.Starved != 0 || last.Stale != 0 {
+		t.Fatalf("post-recovery async round not fresh: %+v", last)
+	}
+	pruned, _, err := failure.PruneSpecs(specs, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2 := &Network{Layout: net.Layout, Graph: g2, Radio: net.Radio}
+	inst2, err := net2.NewInstance(pruned, RouterReversePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Optimize(inst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Execute(p2, net2, gen.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, v := range want.Values {
+		if last.Values[d] != v {
+			t.Fatalf("dest %d: recovered async value %v, from-scratch %v", d, last.Values[d], v)
+		}
+	}
+}

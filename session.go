@@ -156,6 +156,19 @@ func (s *Session) Step() (*SessionStep, error) {
 // Rounds returns how many rounds have executed.
 func (s *Session) Rounds() int { return s.round }
 
+// Values returns the destination values as of the last executed round
+// (a copy; nil before the first Step).
+func (s *Session) Values() map[NodeID]float64 {
+	if s.values == nil {
+		return nil
+	}
+	out := make(map[NodeID]float64, len(s.values))
+	for d, v := range s.values {
+		out[d] = v
+	}
+	return out
+}
+
 // TotalEnergyJ returns the session's accumulated communication energy.
 func (s *Session) TotalEnergyJ() float64 { return s.totalJ }
 

@@ -55,6 +55,16 @@ func TestSessionTracksValuesExactly(t *testing.T) {
 		if step.Round != round {
 			t.Fatalf("step round = %d, want %d", step.Round, round)
 		}
+		vals := sess.Values()
+		for d, v := range step.Values {
+			if vals[d] != v {
+				t.Fatalf("round %d: Values() at %d = %v, step says %v", round, d, vals[d], v)
+			}
+		}
+		vals[specs[0].Dest] = -1e9 // the accessor must hand out a copy
+		if sess.Values()[specs[0].Dest] == -1e9 {
+			t.Fatal("Values() aliases session state")
+		}
 	}
 	if sess.Rounds() != 8 {
 		t.Errorf("Rounds = %d", sess.Rounds())
