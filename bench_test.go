@@ -23,6 +23,7 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	cfg := experiments.Quick()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := r.Run(cfg); err != nil {
@@ -94,7 +95,10 @@ func BenchmarkAsync(b *testing.B) { benchExperiment(b, "async") }
 
 // --- Micro-benchmarks ---
 
-func evalInstance(b *testing.B, destFrac float64) *Instance {
+// evalSetup builds the paper's 68-node evaluation network and a workload
+// instance over it once, so round benchmarks don't pay for (or re-build)
+// the topology twice.
+func evalSetup(b *testing.B, destFrac float64) (*Network, *Instance) {
 	b.Helper()
 	net := GreatDuckIsland()
 	specs, err := net.GenerateWorkload(WorkloadConfig{
@@ -111,6 +115,12 @@ func evalInstance(b *testing.B, destFrac float64) *Instance {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return net, inst
+}
+
+func evalInstance(b *testing.B, destFrac float64) *Instance {
+	b.Helper()
+	_, inst := evalSetup(b, destFrac)
 	return inst
 }
 
@@ -118,6 +128,7 @@ func evalInstance(b *testing.B, destFrac float64) *Instance {
 // 68-node network with 20% destinations × 20 sources.
 func BenchmarkOptimize(b *testing.B) {
 	inst := evalInstance(b, 0.2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Optimize(inst); err != nil {
@@ -130,6 +141,7 @@ func BenchmarkOptimize(b *testing.B) {
 // destination.
 func BenchmarkOptimizeHeavy(b *testing.B) {
 	inst := evalInstance(b, 1.0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Optimize(inst); err != nil {
@@ -155,6 +167,7 @@ func BenchmarkVertexCover(b *testing.B) {
 			}
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := vcover.Solve(p); err != nil {
@@ -163,10 +176,11 @@ func BenchmarkVertexCover(b *testing.B) {
 	}
 }
 
-// BenchmarkExecuteRound measures one simulated round of the optimal plan.
-func BenchmarkExecuteRound(b *testing.B) {
-	net := GreatDuckIsland()
-	inst := evalInstance(b, 0.2)
+// benchEngine builds the optimal-plan engine and a full reading set for
+// the round benchmarks.
+func benchEngine(b *testing.B) (*sim.Engine, map[NodeID]float64) {
+	b.Helper()
+	net, inst := evalSetup(b, 0.2)
 	p, err := Optimize(inst)
 	if err != nil {
 		b.Fatal(err)
@@ -179,9 +193,49 @@ func BenchmarkExecuteRound(b *testing.B) {
 	for i := 0; i < net.Len(); i++ {
 		readings[NodeID(i)] = float64(i)
 	}
+	return eng, readings
+}
+
+// BenchmarkExecuteRound measures one simulated round of the optimal plan
+// through the public Run path (pooled state; allocates the result and its
+// Values map).
+func BenchmarkExecuteRound(b *testing.B) {
+	eng, readings := benchEngine(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Run(readings); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteRoundReuse measures the zero-allocation path: one round
+// into a caller-held RoundState.
+func BenchmarkExecuteRoundReuse(b *testing.B) {
+	eng, readings := benchEngine(b)
+	st := eng.NewRoundState()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunInto(readings, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecuteRoundConcurrent measures batched round throughput over
+// one shared engine (64 rounds per op across GOMAXPROCS workers).
+func BenchmarkExecuteRoundConcurrent(b *testing.B) {
+	eng, readings := benchEngine(b)
+	batch := make([]map[NodeID]float64, 64)
+	for i := range batch {
+		batch[i] = readings
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.RunConcurrent(batch, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -195,6 +249,7 @@ func BenchmarkReoptimize(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := plan.Reoptimize(old, inst); err != nil {
@@ -206,8 +261,7 @@ func BenchmarkReoptimize(b *testing.B) {
 // BenchmarkSuppressedRound measures one temporally suppressed round with
 // ~10% of sources changing.
 func BenchmarkSuppressedRound(b *testing.B) {
-	net := GreatDuckIsland()
-	inst := evalInstance(b, 0.2)
+	net, inst := evalSetup(b, 0.2)
 	p, err := Optimize(inst)
 	if err != nil {
 		b.Fatal(err)
@@ -220,6 +274,7 @@ func BenchmarkSuppressedRound(b *testing.B) {
 	for i := 0; i < net.Len(); i += 10 {
 		deltas[NodeID(i)] = 1.5
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sup.Round(deltas); err != nil {

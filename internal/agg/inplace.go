@@ -1,0 +1,152 @@
+package agg
+
+import (
+	"math"
+
+	"m2m/internal/graph"
+)
+
+// InPlace is the allocation-free extension of Func the compiled round
+// executor uses: records live in caller-owned scratch arenas and are
+// written or folded in place instead of returned fresh. Every operation
+// must be bit-identical to its allocating counterpart — PreAggInto(dst)
+// leaves dst equal to PreAgg's result, MergeInto(dst, src) leaves dst
+// equal to Merge(dst, src) — so compiled execution produces byte-identical
+// values to the map-based reference. All builtin functions implement it;
+// external Funcs fall back to the allocating path via the package helpers.
+type InPlace interface {
+	// RecordLen is the record arity (number of float64 slots).
+	RecordLen() int
+	// PreAggInto writes PreAgg(s, v) into dst (len RecordLen).
+	PreAggInto(dst Record, s graph.NodeID, v float64)
+	// MergeInto folds src into dst: dst = Merge(dst, src).
+	MergeInto(dst, src Record)
+}
+
+// RecordLen returns f's record arity without allocating when f implements
+// InPlace, probing PreAgg otherwise.
+func RecordLen(f Func) int {
+	if ip, ok := f.(InPlace); ok {
+		return ip.RecordLen()
+	}
+	return len(f.PreAgg(f.Sources()[0], 0))
+}
+
+// PreAggInto writes f.PreAgg(s, v) into dst, in place when f supports it.
+func PreAggInto(f Func, dst Record, s graph.NodeID, v float64) {
+	if ip, ok := f.(InPlace); ok {
+		ip.PreAggInto(dst, s, v)
+		return
+	}
+	copy(dst, f.PreAgg(s, v))
+}
+
+// MergeInto folds src into dst (dst = Merge(dst, src)), in place when f
+// supports it.
+func MergeInto(f Func, dst, src Record) {
+	if ip, ok := f.(InPlace); ok {
+		ip.MergeInto(dst, src)
+		return
+	}
+	copy(dst, f.Merge(dst, src))
+}
+
+// RecordLen implements InPlace.
+func (f *WeightedSum) RecordLen() int { return 1 }
+
+// PreAggInto implements InPlace.
+func (f *WeightedSum) PreAggInto(dst Record, s graph.NodeID, v float64) {
+	dst[0] = f.weight(f.Name(), s) * v
+}
+
+// MergeInto implements InPlace.
+func (f *WeightedSum) MergeInto(dst, src Record) { dst[0] = dst[0] + src[0] }
+
+// RecordLen implements InPlace.
+func (f *WeightedAverage) RecordLen() int { return 2 }
+
+// PreAggInto implements InPlace.
+func (f *WeightedAverage) PreAggInto(dst Record, s graph.NodeID, v float64) {
+	dst[0] = f.weight(f.Name(), s) * v
+	dst[1] = 1
+}
+
+// MergeInto implements InPlace.
+func (f *WeightedAverage) MergeInto(dst, src Record) {
+	dst[0] = dst[0] + src[0]
+	dst[1] = dst[1] + src[1]
+}
+
+// RecordLen implements InPlace.
+func (f *WeightedStdDev) RecordLen() int { return 3 }
+
+// PreAggInto implements InPlace.
+func (f *WeightedStdDev) PreAggInto(dst Record, s graph.NodeID, v float64) {
+	x := f.weight(f.Name(), s) * v
+	dst[0] = x
+	dst[1] = x * x
+	dst[2] = 1
+}
+
+// MergeInto implements InPlace.
+func (f *WeightedStdDev) MergeInto(dst, src Record) {
+	dst[0] = dst[0] + src[0]
+	dst[1] = dst[1] + src[1]
+	dst[2] = dst[2] + src[2]
+}
+
+// RecordLen implements InPlace.
+func (f *Min) RecordLen() int { return 1 }
+
+// PreAggInto implements InPlace.
+func (f *Min) PreAggInto(dst Record, s graph.NodeID, v float64) {
+	f.weight(f.Name(), s) // membership check
+	dst[0] = v
+}
+
+// MergeInto implements InPlace.
+func (f *Min) MergeInto(dst, src Record) { dst[0] = math.Min(dst[0], src[0]) }
+
+// RecordLen implements InPlace.
+func (f *Max) RecordLen() int { return 1 }
+
+// PreAggInto implements InPlace.
+func (f *Max) PreAggInto(dst Record, s graph.NodeID, v float64) {
+	f.weight(f.Name(), s)
+	dst[0] = v
+}
+
+// MergeInto implements InPlace.
+func (f *Max) MergeInto(dst, src Record) { dst[0] = math.Max(dst[0], src[0]) }
+
+// RecordLen implements InPlace.
+func (f *Range) RecordLen() int { return 2 }
+
+// PreAggInto implements InPlace.
+func (f *Range) PreAggInto(dst Record, s graph.NodeID, v float64) {
+	f.weight(f.Name(), s)
+	dst[0] = v
+	dst[1] = v
+}
+
+// MergeInto implements InPlace.
+func (f *Range) MergeInto(dst, src Record) {
+	dst[0] = math.Min(dst[0], src[0])
+	dst[1] = math.Max(dst[1], src[1])
+}
+
+// RecordLen implements InPlace.
+func (f *CountAbove) RecordLen() int { return 1 }
+
+// PreAggInto implements InPlace.
+func (f *CountAbove) PreAggInto(dst Record, s graph.NodeID, v float64) {
+	f.weight(f.Name(), s)
+	if v > f.Threshold {
+		dst[0] = 1
+	} else {
+		dst[0] = 0
+	}
+}
+
+// MergeInto implements InPlace.
+func (f *CountAbove) MergeInto(dst, src Record) { dst[0] = dst[0] + src[0] }

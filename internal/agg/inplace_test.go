@@ -1,0 +1,114 @@
+package agg
+
+import (
+	"math"
+	"testing"
+
+	"m2m/internal/graph"
+)
+
+// inPlaceFuncs builds one instance of every builtin aggregate over the
+// same source set.
+func inPlaceFuncs() []Func {
+	weights := map[graph.NodeID]float64{1: 0.5, 3: 2.25, 7: -1.5}
+	sources := []graph.NodeID{1, 3, 7}
+	return []Func{
+		NewWeightedSum(weights),
+		NewWeightedAverage(weights),
+		NewWeightedStdDev(weights),
+		NewMin(sources),
+		NewMax(sources),
+		NewRange(sources),
+		NewCountAbove(sources, 1.0),
+	}
+}
+
+// TestInPlaceMatchesAllocating checks bit-identity of the in-place record
+// algebra against the allocating one for every builtin function: that is
+// the invariant the compiled executor's byte-identical guarantee rests on.
+func TestInPlaceMatchesAllocating(t *testing.T) {
+	vals := []float64{-3.75, 0, 0.25, 1.5, 42.0625}
+	for _, f := range inPlaceFuncs() {
+		ip, ok := f.(InPlace)
+		if !ok {
+			t.Errorf("%s: builtin does not implement InPlace", f.Name())
+			continue
+		}
+		if got, want := ip.RecordLen(), len(f.PreAgg(f.Sources()[0], 0)); got != want {
+			t.Errorf("%s: RecordLen %d, PreAgg produced %d slots", f.Name(), got, want)
+			continue
+		}
+		dst := make(Record, ip.RecordLen())
+		for _, s := range f.Sources() {
+			for _, v := range vals {
+				want := f.PreAgg(s, v)
+				PreAggInto(f, dst, s, v)
+				if !recordsEqual(dst, want) {
+					t.Errorf("%s: PreAggInto(%d, %v) = %v, want %v", f.Name(), s, v, dst, want)
+				}
+			}
+		}
+		// Fold every source's pre-aggregate both ways and compare after
+		// every step.
+		acc := f.PreAgg(f.Sources()[0], vals[0])
+		PreAggInto(f, dst, f.Sources()[0], vals[0])
+		for i, s := range f.Sources()[1:] {
+			r := f.PreAgg(s, vals[(i+1)%len(vals)])
+			acc = f.Merge(acc, r)
+			MergeInto(f, dst, r)
+			if !recordsEqual(dst, acc) {
+				t.Errorf("%s: MergeInto diverged at step %d: %v vs %v", f.Name(), i, dst, acc)
+			}
+		}
+		if got, want := f.Eval(dst), f.Eval(acc); got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("%s: Eval %v vs %v", f.Name(), got, want)
+		}
+	}
+}
+
+// TestInPlaceFallback exercises the allocating fallback path through a
+// wrapper that hides the InPlace implementation.
+func TestInPlaceFallback(t *testing.T) {
+	f := opaque{NewWeightedAverage(map[graph.NodeID]float64{1: 2, 3: 0.5})}
+	if _, ok := Func(f).(InPlace); ok {
+		t.Fatal("opaque wrapper unexpectedly implements InPlace")
+	}
+	if got := RecordLen(f); got != 2 {
+		t.Fatalf("fallback RecordLen = %d, want 2", got)
+	}
+	dst := make(Record, 2)
+	PreAggInto(f, dst, 1, 3)
+	if want := f.PreAgg(1, 3); !recordsEqual(dst, want) {
+		t.Fatalf("fallback PreAggInto = %v, want %v", dst, want)
+	}
+	src := f.PreAgg(3, 8)
+	want := f.Merge(dst.Clone(), src)
+	MergeInto(f, dst, src)
+	if !recordsEqual(dst, want) {
+		t.Fatalf("fallback MergeInto = %v, want %v", dst, want)
+	}
+}
+
+// opaque hides every method set extension of the wrapped Func.
+type opaque struct{ inner Func }
+
+func (o opaque) Name() string                            { return o.inner.Name() }
+func (o opaque) Sources() []graph.NodeID                 { return o.inner.Sources() }
+func (o opaque) HasSource(s graph.NodeID) bool           { return o.inner.HasSource(s) }
+func (o opaque) PreAgg(s graph.NodeID, v float64) Record { return o.inner.PreAgg(s, v) }
+func (o opaque) Merge(a, b Record) Record                { return o.inner.Merge(a, b) }
+func (o opaque) Eval(r Record) float64                   { return o.inner.Eval(r) }
+func (o opaque) RecordBytes() int                        { return o.inner.RecordBytes() }
+func (o opaque) Linear() bool                            { return o.inner.Linear() }
+
+func recordsEqual(a, b Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

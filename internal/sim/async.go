@@ -210,26 +210,30 @@ func linkKeyOf(e routing.Edge) linkKey {
 
 // asyncTopo is the message-level view of the plan the event loop runs on:
 // which messages wait for which, and which messages feed each
-// destination's final merge.
+// destination's final merge. Destinations are identified by their dense
+// index into the compiled program's finals.
 type asyncTopo struct {
-	deps       [][]int              // deps[m] = messages m's payload waits for
-	dependents [][]int              // inverse of deps
-	relevant   [][]graph.NodeID     // relevant[m] = dests whose final merge reads m
-	inCount    map[graph.NodeID]int // per-dest count of relevant in-messages
-	seqTag     []uint32             // per-link wire sequence tag of each message
+	deps       [][]int   // deps[m] = messages m's payload waits for
+	dependents [][]int   // inverse of deps
+	relevant   [][]int32 // relevant[m] = final indices whose merge reads m
+	inCount    []int32   // per-final count of relevant in-messages
+	seqTag     []uint32  // per-link wire sequence tag of each message
 }
 
-// asyncTopology derives (and caches) the message DAG from the unit-level
-// wait-for sets of buildDeps.
+// asyncTopology derives the message DAG from the unit-level wait-for sets
+// of buildDeps. The build is lazy and guarded by topoOnce, so concurrent
+// rounds over one engine observe a single, immutable topology.
 func (e *Engine) asyncTopology() *asyncTopo {
-	if e.topo != nil {
-		return e.topo
-	}
+	e.topoOnce.Do(func() { e.topo = e.buildAsyncTopo() })
+	return e.topo
+}
+
+func (e *Engine) buildAsyncTopo() *asyncTopo {
 	t := &asyncTopo{
 		deps:       make([][]int, len(e.messages)),
 		dependents: make([][]int, len(e.messages)),
-		relevant:   make([][]graph.NodeID, len(e.messages)),
-		inCount:    make(map[graph.NodeID]int),
+		relevant:   make([][]int32, len(e.messages)),
+		inCount:    make([]int32, len(e.prog.finals)),
 		seqTag:     make([]uint32, len(e.messages)),
 	}
 	unitMsg := make([]int, len(e.units))
@@ -268,21 +272,20 @@ func (e *Engine) asyncTopology() *asyncTopo {
 				switch {
 				case u.Kind == plan.UnitAgg && u.Node == edge.To:
 					rel = true
-				case u.Kind == plan.UnitRaw && f.HasSource(u.Node) &&
-					e.provider[nodeSource{node: edge.To, source: u.Node}] == edge:
+				case u.Kind == plan.UnitRaw && f.HasSource(u.Node) && e.provUnit[ui]:
 					rel = true
 				}
 			}
 			if rel {
-				t.relevant[mi] = append(t.relevant[mi], edge.To)
-				t.inCount[edge.To]++
+				fi := e.prog.finalOf[edge.To]
+				t.relevant[mi] = append(t.relevant[mi], fi)
+				t.inCount[fi]++
 			}
 		}
 	}
 	for mi := range t.dependents {
 		sort.Ints(t.dependents[mi])
 	}
-	e.topo = t
 	return t
 }
 
@@ -405,13 +408,27 @@ type amsg struct {
 	recs          []carriedRec
 }
 
-// contrib is one delivered partial record at a node, remembered with the
-// planned index of the message that carried it so folds replay the
-// synchronous merge order exactly.
+// contrib is one delivered partial record at a compiled record slot,
+// remembered with the planned index of the message that carried it so
+// folds replay the synchronous merge order exactly.
 type contrib struct {
 	msgIdx int
 	rec    agg.Record
-	cov    map[graph.NodeID]bool
+	cov    []uint64
+}
+
+// addContrib inserts nc keeping the list ascending by planned message
+// index (the dedup window guarantees at most one contribution per
+// message, so indices are distinct).
+func addContrib(cs []contrib, nc contrib) []contrib {
+	cs = append(cs, nc)
+	i := len(cs) - 1
+	for i > 0 && cs[i-1].msgIdx > nc.msgIdx {
+		cs[i] = cs[i-1]
+		i--
+	}
+	cs[i] = nc
+	return cs
 }
 
 // Run executes one asynchronous round. With a nil or fault-free schedule
@@ -429,22 +446,24 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 		af = zeroAsync{f}
 	}
 	e := a.eng
-	inst := e.Plan.Inst
+	c := e.prog
 	topo := e.asyncTopology()
 	cfg := a.cfg
 
 	res := &AsyncResult{LossyResult: LossyResult{
-		Values:   make(map[graph.NodeID]float64, len(inst.SpecByDest)),
-		Reports:  make(map[graph.NodeID]*DeliveryReport, len(inst.SpecByDest)),
+		Values:   make(map[graph.NodeID]float64, len(c.finals)),
+		Reports:  make(map[graph.NodeID]*DeliveryReport, len(c.finals)),
 		PerNodeJ: make(map[graph.NodeID]float64),
 		Messages: len(e.messages),
 	}}
 
-	rawVal := make(map[nodeSource]float64)
-	contribs := make(map[nodeDest][]contrib)
-	for _, s := range inst.Sources() {
-		if !af.NodeDead(round, s) {
-			rawVal[nodeSource{node: s, source: s}] = readings[s]
+	ls := e.getLossyState()
+	defer e.putLossyState(ls)
+	contribs := make([][]contrib, c.nRec)
+	for i, slot := range c.srcSlot {
+		if !af.NodeDead(round, c.srcIDs[i]) {
+			ls.raw[slot] = readings[c.srcIDs[i]]
+			ls.rawSet[slot] = true
 		}
 	}
 
@@ -454,28 +473,31 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 		msgs[mi].waiting = len(topo.deps[mi])
 	}
 
-	// Per-destination round state. Dead destinations are reported closed
-	// up front, exactly like the synchronous executor.
-	closed := make(map[graph.NodeID]bool)
-	pendingIn := make(map[graph.NodeID]int)
-	for _, d := range inst.Dests() {
-		if !af.NodeDead(round, d) {
-			pendingIn[d] = topo.inCount[d]
+	// Per-destination round state, indexed by final index. Dead
+	// destinations are reported closed up front, exactly like the
+	// synchronous executor.
+	closed := make([]bool, len(c.finals))
+	pendingIn := make([]int32, len(c.finals))
+	for fi := range c.finals {
+		fo := &c.finals[fi]
+		if !af.NodeDead(round, fo.dest) {
+			pendingIn[fi] = topo.inCount[fi]
 			continue
 		}
-		closed[d] = true
-		rep := &DeliveryReport{Dest: d, DestDead: true, Starved: true}
-		rep.Missing = append([]graph.NodeID(nil), inst.SpecByDest[d].Func.Sources()...)
+		closed[fi] = true
+		rep := &DeliveryReport{Dest: fo.dest, DestDead: true, Starved: true}
+		rep.Missing = append([]graph.NodeID(nil), fo.sources...)
 		a.ageReport(rep, round)
-		res.Reports[d] = rep
+		res.Reports[fo.dest] = rep
 	}
 
-	// Per-link receive window: applied (epoch, seq) tags and the highest
-	// tag heard, for dedup and reorder detection.
-	applied := make(map[routing.Edge]map[uint32]bool)
-	maxTag := make(map[routing.Edge]uint32)
-	hasTag := make(map[routing.Edge]bool)
-	attemptSeq := make(map[routing.Edge]int)
+	// Per-link receive window: a message's (epoch, seq) tag is unique, so
+	// "tag applied" indexes by message; the highest tag heard and the ARQ
+	// attempt counter index by the compiled dense edge id.
+	applied := make([]bool, len(e.messages))
+	maxTag := make([]uint32, c.nMsgEdges)
+	hasTag := make([]bool, c.nMsgEdges)
+	attemptSeq := make([]int, c.nMsgEdges)
 
 	var q eventQueue
 	pushSeq := 0
@@ -496,30 +518,28 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 		}
 	}
 
-	closeDest := func(d graph.NodeID, t float64, deadlineHit bool) {
-		if closed[d] || runErr != nil {
+	closeDest := func(fi int32, t float64, deadlineHit bool) {
+		if closed[fi] || runErr != nil {
 			return
 		}
-		closed[d] = true
-		f := inst.SpecByDest[d].Func
-		rec, cv, err := a.assembleAt(d, d, routing.Edge{}, rawVal, contribs)
-		if err != nil {
-			runErr = err
-			return
-		}
+		closed[fi] = true
+		fo := &c.finals[fi]
+		d := fo.dest
+		tmp := ls.tmp[:fo.fnLen]
+		got := e.assembleAsyncInto(fo.fn, fo.ip, fo.inputs, ls, contribs, tmp)
 		rep := &DeliveryReport{Dest: d, ClosedAtMS: t}
-		for _, s := range f.Sources() {
-			if cv[s] {
+		for j, s := range fo.sources {
+			if covHasBit(ls.covTmp, fo.srcBits[j]) {
 				rep.Covered = append(rep.Covered, s)
 			} else {
 				rep.Missing = append(rep.Missing, s)
 			}
 		}
-		if rec == nil {
+		if !got {
 			rep.Starved = true
 		} else {
 			rep.Fresh = len(rep.Missing) == 0
-			res.Values[d] = f.Eval(rec)
+			res.Values[d] = fo.fn.Eval(tmp)
 		}
 		// A deadline close with full coverage degrades nothing.
 		rep.DeadlineHit = deadlineHit && !rep.Fresh
@@ -549,13 +569,13 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 				push(t, evSend, dm, 0, 0)
 			}
 		}
-		for _, d := range topo.relevant[mi] {
-			if closed[d] {
+		for _, fi := range topo.relevant[mi] {
+			if closed[fi] {
 				continue
 			}
-			pendingIn[d]--
-			if pendingIn[d] == 0 {
-				closeDest(d, t, false)
+			pendingIn[fi]--
+			if pendingIn[fi] == 0 {
+				closeDest(fi, t, false)
 			}
 		}
 	}
@@ -570,8 +590,9 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 		if st.delivered {
 			res.SpuriousTx++
 		}
-		wireAtt := attemptSeq[st.edge]
-		attemptSeq[st.edge] = wireAtt + 1
+		eid := c.msgEdge[mi]
+		wireAtt := attemptSeq[eid]
+		attemptSeq[eid] = wireAtt + 1
 		if !af.NodeDead(round, st.edge.To) && af.Deliver(round, st.edge, wireAtt) {
 			st.anyCopyComing = true
 			copies := 1 + af.Duplicates(round, st.edge, wireAtt)
@@ -608,22 +629,22 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 			// retransmission carries these same bytes under the same tag.
 			st.fired = true
 			for _, ui := range e.messages[ev.msg] {
-				u := e.units[ui]
-				if u.Kind == plan.UnitRaw {
-					if v, ok := rawVal[nodeSource{node: st.edge.From, source: u.Node}]; ok {
-						st.raws = append(st.raws, carriedRaw{src: u.Node, val: v})
-						st.body += e.Plan.Bytes(u)
+				op := &c.ops[ui]
+				if op.kind == plan.UnitRaw {
+					if ls.rawSet[op.from] {
+						st.raws = append(st.raws, carriedRaw{slot: op.to, val: ls.raw[op.from]})
+						st.body += int(c.unitBytes[ui])
 					}
 					continue
 				}
-				rec, cv, err := a.assembleAt(st.edge.From, u.Node, st.edge, rawVal, contribs)
-				if err != nil {
-					runErr = err
-					break
-				}
-				if rec != nil {
-					st.recs = append(st.recs, carriedRec{dest: u.Node, rec: rec, cov: cv})
-					st.body += e.Plan.Bytes(u)
+				tmp := ls.tmp[:op.fnLen]
+				if e.assembleAsyncInto(op.fn, op.ip, op.inputs, ls, contribs, tmp) {
+					st.recs = append(st.recs, carriedRec{
+						slot: op.out,
+						rec:  append(agg.Record(nil), tmp...),
+						cov:  append([]uint64(nil), ls.covTmp...),
+					})
+					st.body += int(c.unitBytes[ui])
 				}
 			}
 			est := a.estimator(st.edge)
@@ -639,16 +660,12 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 			st.copies++
 			note(ev.t)
 			tag := topo.seqTag[ev.msg]
-			win := applied[st.edge]
-			if win == nil {
-				win = make(map[uint32]bool)
-				applied[st.edge] = win
-			}
-			if win[tag] {
+			eid := c.msgEdge[ev.msg]
+			if applied[ev.msg] {
 				// The dedup window catches the copy: paid for (RX), then
 				// discarded — the merge never sees it twice.
 				res.DupCopies++
-				if depth := int(maxTag[st.edge] - tag); depth > 0 {
+				if depth := int(maxTag[eid] - tag); depth > 0 {
 					if depth > res.MaxDedupDepth {
 						res.MaxDedupDepth = depth
 					}
@@ -657,21 +674,21 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 					}
 				}
 			} else {
-				win[tag] = true
-				if hasTag[st.edge] && tag < maxTag[st.edge] {
+				applied[ev.msg] = true
+				if hasTag[eid] && tag < maxTag[eid] {
 					res.Reordered++
 				}
-				if !hasTag[st.edge] || tag > maxTag[st.edge] {
-					maxTag[st.edge] = tag
-					hasTag[st.edge] = true
+				if !hasTag[eid] || tag > maxTag[eid] {
+					maxTag[eid] = tag
+					hasTag[eid] = true
 				}
 				st.delivered = true
 				for _, cr := range st.raws {
-					rawVal[nodeSource{node: st.edge.To, source: cr.src}] = cr.val
+					ls.raw[cr.slot] = cr.val
+					ls.rawSet[cr.slot] = true
 				}
 				for _, cr := range st.recs {
-					key := nodeDest{node: st.edge.To, dest: cr.dest}
-					contribs[key] = append(contribs[key], contrib{msgIdx: ev.msg, rec: cr.rec, cov: cr.cov})
+					contribs[cr.slot] = addContrib(contribs[cr.slot], contrib{msgIdx: ev.msg, rec: cr.rec, cov: cr.cov})
 				}
 				resolve(ev.msg, ev.t)
 			}
@@ -713,8 +730,8 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 			}
 
 		case evDeadline:
-			for _, d := range inst.Dests() {
-				closeDest(d, ev.t, true)
+			for fi := range c.finals {
+				closeDest(int32(fi), ev.t, true)
 			}
 		}
 	}
@@ -779,38 +796,61 @@ func (a *AsyncRunner) ageReport(rep *DeliveryReport, round int) {
 	}
 }
 
-// assembleAt is assembleLossy over the event-driven state: the node's
-// record contributions are folded in planned message order first, so the
-// float merge sequence is identical to the synchronous executor's however
-// the arrivals interleaved.
-func (a *AsyncRunner) assembleAt(n, d graph.NodeID, out routing.Edge, rawVal map[nodeSource]float64, contribs map[nodeDest][]contrib) (agg.Record, map[graph.NodeID]bool, error) {
-	key := nodeDest{node: n, dest: d}
-	recView := make(map[nodeDest]agg.Record, 1)
-	covView := make(map[nodeDest]map[graph.NodeID]bool, 1)
-	if cs := contribs[key]; len(cs) > 0 {
-		f := a.eng.Plan.Inst.SpecByDest[d].Func
-		rec, cov := foldContribs(f, cs)
-		recView[key] = rec
-		covView[key] = cov
-	}
-	return a.eng.assembleLossy(n, d, out, rawVal, recView, covView)
-}
-
-// foldContribs merges a node's record contributions ascending by planned
-// message index — the exact order RunLossy accumulates them in.
-func foldContribs(f agg.Func, cs []contrib) (agg.Record, map[graph.NodeID]bool) {
-	sorted := append([]contrib(nil), cs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].msgIdx < sorted[j].msgIdx })
-	rec := sorted[0].rec
-	cov := make(map[graph.NodeID]bool, len(sorted[0].cov))
-	for s := range sorted[0].cov {
-		cov[s] = true
-	}
-	for _, c := range sorted[1:] {
-		rec = f.Merge(rec, c.rec)
-		for s := range c.cov {
-			cov[s] = true
+// assembleAsyncInto is assembleLossyInto over the event-driven state: a
+// record slot's value is its delivered contributions folded in planned
+// message order (addContrib keeps them sorted), so the float merge
+// sequence is identical to the synchronous executor's however the
+// arrivals interleaved. Coverage accumulates into ls.covTmp; it reports
+// whether anything was present.
+func (e *Engine) assembleAsyncInto(fn agg.Func, ip agg.InPlace, inputs []unitInput, ls *lossyState, contribs [][]contrib, tmp agg.Record) bool {
+	covClear(ls.covTmp)
+	got := false
+	for _, in := range inputs {
+		if in.kind == inRec {
+			cs := contribs[in.slot]
+			if len(cs) == 0 {
+				continue
+			}
+			// Fold the slot's contributions into their own buffer first,
+			// then merge the folded record in — the reference executor's
+			// exact association order.
+			rec := agg.Record(ls.tmp3[:len(tmp)])
+			copy(rec, cs[0].rec)
+			covOr(ls.covTmp, cs[0].cov)
+			for _, cc := range cs[1:] {
+				mergeRecInto(fn, ip, rec, cc.rec)
+				covOr(ls.covTmp, cc.cov)
+			}
+			if !got {
+				got = true
+				copy(tmp, rec)
+			} else {
+				mergeRecInto(fn, ip, tmp, rec)
+			}
+			continue
 		}
+		if !ls.rawSet[in.slot] {
+			continue
+		}
+		v := ls.raw[in.slot]
+		if !got {
+			got = true
+			if ip != nil {
+				ip.PreAggInto(tmp, in.source, v)
+			} else {
+				copy(tmp, fn.PreAgg(in.source, v))
+			}
+		} else {
+			op := agg.Record(ls.tmp2[:len(tmp)])
+			if ip != nil {
+				ip.PreAggInto(op, in.source, v)
+				ip.MergeInto(tmp, op)
+			} else {
+				copy(op, fn.PreAgg(in.source, v))
+				copy(tmp, fn.Merge(tmp, op))
+			}
+		}
+		covSetBit(ls.covTmp, in.srcBit)
 	}
-	return rec, cov
+	return got
 }

@@ -10,6 +10,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"m2m/internal/agg"
 	"m2m/internal/graph"
@@ -29,24 +30,32 @@ type nodeDest struct {
 }
 
 // Engine executes one plan. It precomputes the unit list, the wait-for
-// DAG, a topological processing order, and the message layout, so repeated
-// Run calls only do value propagation.
+// DAG, a topological processing order, and the message layout, then
+// compiles everything into a flat, index-based round program (compile.go),
+// so repeated Run calls only do value propagation over dense scratch
+// arrays. The compiled program is immutable after NewEngine: any number of
+// rounds may execute concurrently over one Engine (RunConcurrent), each on
+// its own pooled RoundState.
 type Engine struct {
 	Plan  *plan.Plan
 	Radio radio.Model
 
 	units    []plan.Unit
-	unitIdx  map[plan.Unit]int
 	deps     [][]int // deps[u] = units u waits for
 	order    []int   // topological processing order
-	provider map[nodeSource]routing.Edge
+	provUnit []bool  // unit is the designated first provider of its raw value
 
 	messages  [][]int // message -> unit indices (per edge)
 	energyJ   float64
 	bodyBytes int
 	perNodeJ  map[graph.NodeID]float64
 
-	topo *asyncTopo // lazily built message-level DAG for the async executor
+	prog      *compiled // the flat round program (compile.go)
+	pool      sync.Pool // *RoundState scratch, recycled across rounds
+	lossyPool sync.Pool // *lossyState scratch for the lossy/async paths
+
+	topo     *asyncTopo // message-level DAG for the async executor
+	topoOnce sync.Once  // guards the lazy build so concurrent rounds stay safe
 }
 
 // Options configures engine construction.
@@ -82,13 +91,18 @@ func NewEngine(p *plan.Plan, model radio.Model, opts Options) (*Engine, error) {
 	}
 	e := &Engine{Plan: p, Radio: model}
 	e.units = p.Units()
-	e.unitIdx = make(map[plan.Unit]int, len(e.units))
-	for i, u := range e.units {
-		e.unitIdx[u] = i
-	}
-	e.buildProviders()
-	if err := e.buildDeps(); err != nil {
+	provider := e.buildProviders()
+	if err := e.buildDeps(provider); err != nil {
 		return nil, err
+	}
+	e.provUnit = make([]bool, len(e.units))
+	for i, u := range e.units {
+		if u.Kind != plan.UnitRaw {
+			continue
+		}
+		if prov, ok := provider[nodeSource{node: u.Edge.To, source: u.Node}]; ok && prov == u.Edge {
+			e.provUnit[i] = true
+		}
 	}
 	d := graph.NewDigraph(len(e.units))
 	for u, ds := range e.deps {
@@ -118,13 +132,20 @@ func NewEngine(p *plan.Plan, model radio.Model, opts Options) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if err := e.compile(); err != nil {
+		return nil, err
+	}
+	e.pool.New = func() any { return e.NewRoundState() }
+	e.lossyPool.New = func() any { return e.newLossyState() }
 	return e, nil
 }
 
 // buildProviders picks, for every (node, source) with the source's raw
-// value available, the deterministic in-edge that delivers it first.
-func (e *Engine) buildProviders() {
-	e.provider = make(map[nodeSource]routing.Edge)
+// value available, the deterministic in-edge that delivers it first. The
+// map only lives through construction: per-unit facts derived from it
+// (deps, provUnit) are stored as slices indexed by unit.
+func (e *Engine) buildProviders() map[nodeSource]routing.Edge {
+	provider := make(map[nodeSource]routing.Edge)
 	edgesBySource := make(map[graph.NodeID][]routing.Edge)
 	for _, eg := range e.Plan.Inst.EdgeList {
 		for s := range e.Plan.Sol[eg].Raw {
@@ -144,23 +165,28 @@ func (e *Engine) buildProviders() {
 			for _, eg := range edges {
 				if avail[eg.From] && !avail[eg.To] {
 					avail[eg.To] = true
-					e.provider[nodeSource{node: eg.To, source: s}] = eg
+					provider[nodeSource{node: eg.To, source: s}] = eg
 					changed = true
 				}
 			}
 		}
 	}
+	return provider
 }
 
 // buildDeps derives each unit's wait-for set (Section 3): a forwarded raw
 // value waits for the copy that delivered it; a partial record waits for
 // the upstream records and raw values it merges.
-func (e *Engine) buildDeps() error {
+func (e *Engine) buildDeps(provider map[nodeSource]routing.Edge) error {
+	unitIdx := make(map[plan.Unit]int, len(e.units))
+	for i, u := range e.units {
+		unitIdx[u] = i
+	}
 	e.deps = make([][]int, len(e.units))
 	for i, u := range e.units {
 		seen := make(map[int]bool)
 		add := func(dep plan.Unit) error {
-			j, ok := e.unitIdx[dep]
+			j, ok := unitIdx[dep]
 			if !ok {
 				return fmt.Errorf("sim: unit %v depends on missing unit %v", u, dep)
 			}
@@ -175,7 +201,7 @@ func (e *Engine) buildDeps() error {
 			if u.Edge.From == u.Node {
 				continue // originates here
 			}
-			prov, ok := e.provider[nodeSource{node: u.Edge.From, source: u.Node}]
+			prov, ok := provider[nodeSource{node: u.Edge.From, source: u.Node}]
 			if !ok {
 				return fmt.Errorf("sim: raw %d unavailable at %d", u.Node, u.Edge.From)
 			}
@@ -199,7 +225,7 @@ func (e *Engine) buildDeps() error {
 						return err
 					}
 				} else {
-					prov, ok := e.provider[nodeSource{node: n, source: pr.Source}]
+					prov, ok := provider[nodeSource{node: n, source: pr.Source}]
 					if !ok {
 						return fmt.Errorf("sim: raw %d unavailable at %d for record %d", pr.Source, n, u.Node)
 					}
@@ -242,13 +268,37 @@ type Observer func(u plan.Unit, raw float64, rec agg.Record)
 
 // Run executes one round with the given readings (one per node; sources
 // not present default to 0) and returns the computed destination values
-// plus the round's communication cost.
+// plus the round's communication cost. It executes the compiled round
+// program over a pooled RoundState: beyond the returned result and its
+// Values map, a steady-state round performs no heap allocations.
 func (e *Engine) Run(readings map[graph.NodeID]float64) (*RoundResult, error) {
-	return e.RunObserved(readings, nil)
+	st := e.getState()
+	defer e.putState(st)
+	res := &RoundResult{Values: make(map[graph.NodeID]float64, len(e.prog.finals))}
+	e.runCompiled(readings, st, res.Values, nil)
+	e.fillResult(res)
+	return res, nil
 }
 
 // RunObserved is Run with a unit-level observer (nil behaves like Run).
+// Observed records are cloned before the observer sees them, so observers
+// may retain them.
 func (e *Engine) RunObserved(readings map[graph.NodeID]float64, obs Observer) (*RoundResult, error) {
+	if obs == nil {
+		return e.Run(readings)
+	}
+	st := e.getState()
+	defer e.putState(st)
+	res := &RoundResult{Values: make(map[graph.NodeID]float64, len(e.prog.finals))}
+	e.runCompiled(readings, st, res.Values, obs)
+	e.fillResult(res)
+	return res, nil
+}
+
+// runMapBased is the original map-keyed executor, kept as the reference
+// implementation the compiled program is differentially tested against:
+// compiled rounds must stay byte-identical to it, values and energy.
+func (e *Engine) runMapBased(readings map[graph.NodeID]float64, obs Observer) (*RoundResult, error) {
 	rawVal := make(map[nodeSource]float64)
 	recVal := make(map[nodeDest]agg.Record)
 	inst := e.Plan.Inst

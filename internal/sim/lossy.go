@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"m2m/internal/agg"
 	"m2m/internal/graph"
@@ -124,16 +123,18 @@ func (r *DeliveryReport) Validate() error {
 
 // carriedRaw and carriedRec are a message's payload snapshot: the raw
 // values and partial records actually available at the sender when the
-// message (first) transmits. Both lossy executors share them.
+// message (first) transmits. Both lossy executors share them; slot is the
+// compiled slot the payload lands in at the receiver, and cov the covered
+// sources as a dense bitset over the compiled source order.
 type carriedRaw struct {
-	src graph.NodeID
-	val float64
+	slot int32
+	val  float64
 }
 
 type carriedRec struct {
-	dest graph.NodeID
+	slot int32
 	rec  agg.Record
-	cov  map[graph.NodeID]bool
+	cov  []uint64
 }
 
 // EdgeOutcome is the observable fate of one planned message: how many
@@ -191,25 +192,24 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 	if faults == nil {
 		faults = noFaults{}
 	}
-	inst := e.Plan.Inst
-	rawVal := make(map[nodeSource]float64)
-	recVal := make(map[nodeDest]agg.Record)
-	cov := make(map[nodeDest]map[graph.NodeID]bool)
-	for _, s := range inst.Sources() {
-		if !faults.NodeDead(round, s) {
-			rawVal[nodeSource{node: s, source: s}] = readings[s]
+	c := e.prog
+	st := e.getLossyState()
+	defer e.putLossyState(st)
+	for i, slot := range c.srcSlot {
+		if !faults.NodeDead(round, c.srcIDs[i]) {
+			st.raw[slot] = readings[c.srcIDs[i]]
+			st.rawSet[slot] = true
 		}
 	}
 
 	res := &LossyResult{
-		Values:   make(map[graph.NodeID]float64, len(inst.SpecByDest)),
-		Reports:  make(map[graph.NodeID]*DeliveryReport, len(inst.SpecByDest)),
+		Values:   make(map[graph.NodeID]float64, len(c.finals)),
+		Reports:  make(map[graph.NodeID]*DeliveryReport, len(c.finals)),
 		PerNodeJ: make(map[graph.NodeID]float64),
 		Messages: len(e.messages),
 	}
-	attemptSeq := make(map[routing.Edge]int)
 
-	for _, msg := range e.messages {
+	for mi, msg := range e.messages {
 		edge := e.units[msg[0]].Edge
 		out := EdgeOutcome{Edge: edge}
 		if faults.NodeDead(round, edge.From) {
@@ -220,38 +220,40 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 		}
 
 		// Gather the units whose content is available at the sender.
-		var raws []carriedRaw
-		var recs []carriedRec
+		raws := st.raws[:0]
+		recs := st.recs[:0]
 		body := 0
 		for _, ui := range msg {
-			u := e.units[ui]
-			switch u.Kind {
-			case plan.UnitRaw:
-				if v, ok := rawVal[nodeSource{node: edge.From, source: u.Node}]; ok {
-					raws = append(raws, carriedRaw{src: u.Node, val: v})
-					body += e.Plan.Bytes(u)
+			op := &c.ops[ui]
+			if op.kind == plan.UnitRaw {
+				if st.rawSet[op.from] {
+					raws = append(raws, carriedRaw{slot: op.to, val: st.raw[op.from]})
+					body += int(c.unitBytes[ui])
 				}
-			default:
-				rec, cv, err := e.assembleLossy(edge.From, u.Node, edge, rawVal, recVal, cov)
-				if err != nil {
-					return nil, err
-				}
-				if rec != nil {
-					recs = append(recs, carriedRec{dest: u.Node, rec: rec, cov: cv})
-					body += e.Plan.Bytes(u)
-				}
+				continue
+			}
+			tmp := st.tmp[:op.fnLen]
+			if assembleLossyInto(op.fn, op.ip, op.inputs, st, c, tmp, st.covTmp) {
+				recs = append(recs, carriedRec{
+					slot: op.out,
+					rec:  append(agg.Record(nil), tmp...),
+					cov:  append([]uint64(nil), st.covTmp...),
+				})
+				body += int(c.unitBytes[ui])
 			}
 		}
+		st.raws, st.recs = raws, recs
 		out.BodyBytes = body
 
 		// Stop-and-wait: transmit until delivered or the budget runs out.
 		// A lost attempt costs the sender TX; the receiver pays RX only
 		// for the attempt it actually hears.
 		recvDead := faults.NodeDead(round, edge.To)
+		eid := c.msgEdge[mi]
 		for try := 0; try <= maxRetries; try++ {
 			out.Attempts++
-			seq := attemptSeq[edge]
-			attemptSeq[edge] = seq + 1
+			seq := int(st.attempt[eid])
+			st.attempt[eid]++
 			if !recvDead && faults.Deliver(round, edge, seq) {
 				out.Delivered = true
 				break
@@ -275,23 +277,18 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 
 		if out.Delivered {
 			for _, cr := range raws {
-				rawVal[nodeSource{node: edge.To, source: cr.src}] = cr.val
+				st.raw[cr.slot] = cr.val
+				st.rawSet[cr.slot] = true
 			}
 			for _, cr := range recs {
-				key := nodeDest{node: edge.To, dest: cr.dest}
-				if prev, ok := recVal[key]; ok {
-					recVal[key] = inst.SpecByDest[cr.dest].Func.Merge(prev, cr.rec)
+				dst := st.arena[c.recOff[cr.slot] : c.recOff[cr.slot]+c.recLen[cr.slot]]
+				if st.recSet[cr.slot] {
+					mergeRecInto(c.recFn[cr.slot], c.recIP[cr.slot], dst, cr.rec)
 				} else {
-					recVal[key] = cr.rec
+					copy(dst, cr.rec)
+					st.recSet[cr.slot] = true
 				}
-				cset := cov[key]
-				if cset == nil {
-					cset = make(map[graph.NodeID]bool)
-					cov[key] = cset
-				}
-				for s := range cr.cov {
-					cset[s] = true
-				}
+				covOr(st.recCov(c, cr.slot), cr.cov)
 			}
 		} else {
 			res.Dropped++
@@ -299,111 +296,35 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 		res.Outcomes = append(res.Outcomes, out)
 	}
 
-	// Final per-destination merge and delivery report.
-	for _, d := range inst.Dests() {
+	// Final per-destination merge and delivery report. finals follow
+	// Dests() order, and each function's source list is ascending, so the
+	// covered/missing splits come out sorted without a per-round sort.
+	for i := range c.finals {
+		fo := &c.finals[i]
+		d := fo.dest
 		rep := &DeliveryReport{Dest: d}
 		res.Reports[d] = rep
-		f := inst.SpecByDest[d].Func
-		all := f.Sources()
 		if faults.NodeDead(round, d) {
 			rep.DestDead = true
 			rep.Starved = true
-			rep.Missing = append([]graph.NodeID(nil), all...)
+			rep.Missing = append([]graph.NodeID(nil), fo.sources...)
 			continue
 		}
-		rec, cv, err := e.assembleLossy(d, d, routing.Edge{}, rawVal, recVal, cov)
-		if err != nil {
-			return nil, err
-		}
-		for _, s := range all {
-			if cv[s] {
+		tmp := st.tmp[:fo.fnLen]
+		got := assembleLossyInto(fo.fn, fo.ip, fo.inputs, st, c, tmp, st.covTmp)
+		for j, s := range fo.sources {
+			if covHasBit(st.covTmp, fo.srcBits[j]) {
 				rep.Covered = append(rep.Covered, s)
 			} else {
 				rep.Missing = append(rep.Missing, s)
 			}
 		}
-		sort.Slice(rep.Covered, func(i, j int) bool { return rep.Covered[i] < rep.Covered[j] })
-		sort.Slice(rep.Missing, func(i, j int) bool { return rep.Missing[i] < rep.Missing[j] })
-		if rec == nil {
+		if !got {
 			rep.Starved = true
 			continue
 		}
 		rep.Fresh = len(rep.Missing) == 0
-		res.Values[d] = f.Eval(rec)
+		res.Values[d] = fo.fn.Eval(tmp)
 	}
 	return res, nil
-}
-
-// assembleLossy is assembleRecord under partial delivery: contributions
-// that never arrived are skipped instead of failing, and the covered
-// source set is tracked alongside the record. When every input is present
-// it performs the identical merge sequence to assembleRecord, so
-// fault-free values match Run bit for bit. rec is nil when nothing at all
-// is available.
-func (e *Engine) assembleLossy(n, d graph.NodeID, out routing.Edge, rawVal map[nodeSource]float64, recVal map[nodeDest]agg.Record, cov map[nodeDest]map[graph.NodeID]bool) (agg.Record, map[graph.NodeID]bool, error) {
-	inst := e.Plan.Inst
-	f := inst.SpecByDest[d].Func
-	final := out == routing.Edge{}
-
-	var pairs []plan.Pair
-	if final {
-		for _, s := range f.Sources() {
-			pairs = append(pairs, plan.Pair{Source: s, Dest: d})
-		}
-	} else {
-		for _, pr := range inst.EdgePairs[out] {
-			if pr.Dest == d {
-				pairs = append(pairs, pr)
-			}
-		}
-	}
-
-	var rec agg.Record
-	cv := make(map[graph.NodeID]bool)
-	mergeIn := func(r agg.Record) {
-		if rec == nil {
-			rec = r.Clone()
-		} else {
-			rec = f.Merge(rec, r)
-		}
-	}
-	usedUpstream := false
-	for _, pr := range pairs {
-		path := inst.Paths[pr]
-		var pos int
-		if final {
-			pos = len(path) - 1
-		} else {
-			pos = inst.PairEdgeIndex(pr, out)
-			if pos < 0 {
-				return nil, nil, fmt.Errorf("sim: pair %d→%d does not cross %v", pr.Source, pr.Dest, out)
-			}
-		}
-		if pos == 0 {
-			if v, ok := rawVal[nodeSource{node: n, source: pr.Source}]; ok {
-				mergeIn(f.PreAgg(pr.Source, v))
-				cv[pr.Source] = true
-			}
-			continue
-		}
-		in := routing.Edge{From: path[pos-1], To: path[pos]}
-		if e.Plan.Sol[in].Agg[d] {
-			if !usedUpstream {
-				usedUpstream = true
-				key := nodeDest{node: n, dest: d}
-				if r, ok := recVal[key]; ok {
-					mergeIn(r)
-					for s := range cov[key] {
-						cv[s] = true
-					}
-				}
-			}
-			continue
-		}
-		if v, ok := rawVal[nodeSource{node: n, source: pr.Source}]; ok {
-			mergeIn(f.PreAgg(pr.Source, v))
-			cv[pr.Source] = true
-		}
-	}
-	return rec, cv, nil
 }

@@ -48,6 +48,7 @@ type Session struct {
 	net       *Network
 	plan      *Plan
 	engine    *sim.Engine
+	state     *sim.RoundState
 	sup       *Suppressor
 	gen       ReadingGenerator
 	threshold float64
@@ -92,6 +93,7 @@ func NewSession(p *Plan, net *Network, policy Policy, gen ReadingGenerator, thre
 		net:       net,
 		plan:      p,
 		engine:    eng,
+		state:     eng.NewRoundState(),
 		sup:       sup,
 		gen:       gen,
 		threshold: threshold,
@@ -103,8 +105,9 @@ func (s *Session) Step() (*SessionStep, error) {
 	cur := s.gen.Next()
 	step := &SessionStep{Round: s.round}
 	if s.round == 0 {
-		// Bootstrap: full in-network evaluation.
-		res, err := s.engine.Run(cur)
+		// Bootstrap: full in-network evaluation on the session-held round
+		// state (the values are copied out below, so reuse is safe).
+		res, err := s.engine.RunInto(cur, s.state)
 		if err != nil {
 			return nil, err
 		}
