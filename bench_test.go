@@ -93,6 +93,9 @@ func BenchmarkChaos(b *testing.B) { benchExperiment(b, "chaos") }
 // BenchmarkAsync regenerates the event-driven timing-regime table.
 func BenchmarkAsync(b *testing.B) { benchExperiment(b, "async") }
 
+// BenchmarkChurn regenerates the partition/epoch-fence/heal-cost table.
+func BenchmarkChurn(b *testing.B) { benchExperiment(b, "churn") }
+
 // --- Micro-benchmarks ---
 
 // evalSetup builds the paper's 68-node evaluation network and a workload

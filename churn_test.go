@@ -1,0 +1,269 @@
+package m2m
+
+import (
+	"testing"
+
+	"m2m/internal/agg"
+	"m2m/internal/chaos"
+	"m2m/internal/failure"
+)
+
+// pickChurnCast deterministically selects the soak's cast on the fixture:
+// a connected side of at least a third of the network that excludes the
+// base station, a source Y inside it serving a destination outside it (so
+// the cut severs live traffic), and a source X outside it whose crash is
+// survivable. Both removals must leave the rest of the network connected.
+func pickChurnCast(t *testing.T, net *Network, specs []Spec, sideSize int) (side []NodeID, x, y NodeID) {
+	t.Helper()
+	for s := 1; s < net.Len(); s++ {
+		cand, err := chaos.GrowSide(net.Graph, NodeID(s), sideSize)
+		if err != nil {
+			continue
+		}
+		in := make(map[NodeID]bool, len(cand))
+		for _, n := range cand {
+			in[n] = true
+		}
+		if in[0] {
+			continue
+		}
+		y = NodeID(-1)
+		for _, sp := range specs {
+			if in[sp.Dest] {
+				continue
+			}
+			for _, src := range sp.Func.Sources() {
+				if in[src] && src != sp.Dest {
+					y = src
+					break
+				}
+			}
+			if y >= 0 {
+				break
+			}
+		}
+		if y < 0 {
+			continue
+		}
+		x = NodeID(-1)
+		for _, sp := range specs {
+			for _, src := range sp.Func.Sources() {
+				if !in[src] && src != sp.Dest && src != 0 && src != y {
+					x = src
+					break
+				}
+			}
+			if x >= 0 {
+				break
+			}
+		}
+		if x < 0 {
+			continue
+		}
+		gx, err := failure.RemoveNode(net.Graph, x)
+		if err != nil || len(gx.Components()) > 2 {
+			continue
+		}
+		gxy, err := failure.RemoveNode(gx, y)
+		if err != nil || len(gxy.Components()) > 3 {
+			continue
+		}
+		return cand, x, y
+	}
+	t.Fatal("fixture admits no churn cast")
+	return nil, 0, 0
+}
+
+// TestChurnSoak is the acceptance soak for the churn-tolerant runtime: a
+// transient crash (X, later revived), a partition of a third of the
+// network for six rounds, and a permanent crash inside the partition (Y).
+// The session must quarantine the severed side instead of condemning it,
+// condemn exactly the two real deaths, fence stale-epoch frames while
+// table diffs cannot cross the cut, re-admit X on revival, and — once
+// everything has quiesced — serve byte-identical values at the exact
+// energy of a from-scratch plan on the surviving workload.
+func TestChurnSoak(t *testing.T) {
+	net, specs, gen := chaosFixture(t, 7)
+	const (
+		sideSize       = 17 // ≥ a third of the 50-node fixture
+		crashXRound    = 2
+		partitionStart = 8
+		partitionLen   = 6 // heals at round 14
+		crashYRound    = 10
+		reviveXRound   = 16
+		totalRounds    = 20
+	)
+	side, x, y := pickChurnCast(t, net, specs, sideSize)
+
+	inj := NewFaultInjector(7).
+		Crash(x, crashXRound).Revive(x, reviveXRound).
+		Crash(y, crashYRound).
+		AddPartition(side, partitionStart, partitionLen)
+	if err := inj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewResilientSession(net, specs, RouterReversePath, gen, inj, ResilientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inSide := make(map[NodeID]bool, len(side))
+	for _, n := range side {
+		inSide[n] = true
+	}
+	allowedDead := map[NodeID]bool{x: true, y: true}
+	var steps []*ResilientStep
+	epochDropTotal, quarDuringPartition := 0, 0
+	for r := 0; r < totalRounds; r++ {
+		step, err := s.Step()
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		steps = append(steps, step)
+		epochDropTotal += step.EpochDropped
+		// (a) Zero false permanent deaths: only the really crashed nodes
+		// may ever be condemned, partition or not.
+		for _, d := range s.DeadNodes() {
+			if !allowedDead[d] {
+				t.Fatalf("round %d: false permanent death of %d (dead: %v, quarantined: %v)",
+					r, d, s.DeadNodes(), s.QuarantinedNodes())
+			}
+		}
+		if r >= partitionStart && r < partitionStart+partitionLen {
+			// The severed side dominates the quarantine; a base-side node
+			// whose only traffic crossed the cut may conservatively join it
+			// for a round, which is fine — (a) above is the real invariant.
+			for _, q := range s.QuarantinedNodes() {
+				if inSide[q] {
+					quarDuringPartition++
+				}
+			}
+		}
+	}
+
+	// The two real deaths were condemned on schedule, and X alone rejoined.
+	recs := s.Recoveries()
+	if len(recs) != 2 || recs[0].Dead != x || recs[1].Dead != y {
+		t.Fatalf("recoveries %+v, want exactly X=%d then Y=%d", recs, x, y)
+	}
+	if recs[0].Round != crashXRound+2 || recs[1].Round != crashYRound+2 {
+		t.Fatalf("condemned at rounds %d and %d, want %d and %d",
+			recs[0].Round, recs[1].Round, crashXRound+2, crashYRound+2)
+	}
+	if got := s.DeadNodes(); len(got) != 1 || got[0] != y {
+		t.Fatalf("final dead set %v, want exactly {%d}", got, y)
+	}
+	if rj := steps[reviveXRound].Rejoins; len(rj) != 1 || rj[0] != x {
+		t.Fatalf("round %d rejoins %v, want [%d]", reviveXRound, rj, x)
+	}
+	// Three replans: X's death, Y's death, X's rejoin.
+	if s.PlanEpoch() != 4 {
+		t.Fatalf("plan epoch %d, want 4", s.PlanEpoch())
+	}
+
+	// The quarantine held the severed side, and cleared with the cut.
+	if quarDuringPartition == 0 {
+		t.Fatal("partition never quarantined anybody")
+	}
+	for _, r := range []int{partitionStart - 1, totalRounds - 2, totalRounds - 1} {
+		if steps[r].Quarantined != 0 {
+			t.Fatalf("round %d: %d nodes quarantined outside any cut", r, steps[r].Quarantined)
+		}
+	}
+
+	// (c) The epoch fence was exercised: Y's replan could not reach the
+	// quarantined side, so its nodes lagged (EpochLag), and their fenced
+	// frames were heard-and-discarded (EpochDropped), never merged — the
+	// byte-identical reconvergence below is the proof nothing stale got in.
+	if steps[recs[1].Round].EpochLag == 0 {
+		t.Fatalf("round %d: Y's replan left no one lagging behind the cut", recs[1].Round)
+	}
+	if epochDropTotal == 0 {
+		t.Fatal("no frame was ever epoch-fenced")
+	}
+	if last := steps[totalRounds-1]; last.EpochLag != 0 {
+		t.Fatalf("final round still lagging %d nodes", last.EpochLag)
+	}
+
+	// (b) Post-quiescence reconvergence: the healed session must match a
+	// from-scratch plan on the true surviving workload (everything minus
+	// Y) — byte-identical values, identical energy.
+	gRef, err := failure.RemoveNode(net.Graph, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specsRef, _, err := failure.PruneSpecs(specs, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netRef := &Network{Layout: net.Layout, Graph: gRef, Radio: net.Radio}
+	instRef, err := netRef.NewInstance(specsRef, RouterReversePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRef, err := Optimize(instRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Execute(pRef, netRef, gen.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{totalRounds - 2, totalRounds - 1} {
+		step := steps[r]
+		if step.Fresh != len(specsRef) || step.Stale != 0 || step.Starved != 0 {
+			t.Fatalf("round %d not fully fresh: %+v", r, step)
+		}
+		if step.EnergyJ != want.EnergyJ {
+			t.Fatalf("round %d energy %v, want the from-scratch plan's %v", r, step.EnergyJ, want.EnergyJ)
+		}
+		for d, v := range want.Values {
+			if step.Values[d] != v {
+				t.Fatalf("round %d: value at %d = %v, want %v (bit-exact)", r, d, step.Values[d], v)
+			}
+		}
+	}
+}
+
+// The dissemination base station must follow the survivors: when node 0
+// itself dies, recovery elects node 1, and a session with no survivors at
+// all reports the error instead of silently using dead node 0.
+func TestLowestAliveAfterNodeZeroDies(t *testing.T) {
+	net, _, gen := chaosFixture(t, 13)
+	if g0, err := failure.RemoveNode(net.Graph, 0); err != nil || len(g0.Components()) > 2 {
+		t.Skip("node 0 is a cut vertex of this fixture")
+	}
+	// Node 0 is a transmitting source, so its crash is detectable.
+	specs := []Spec{
+		{Dest: 9, Func: agg.NewWeightedSum(map[NodeID]float64{0: 1, 5: 1})},
+		{Dest: 20, Func: agg.NewWeightedSum(map[NodeID]float64{12: 1, 30: 1})},
+	}
+	inj := NewFaultInjector(13).Crash(0, 1)
+	s, err := NewResilientSession(net, specs, RouterReversePath, gen, inj, ResilientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 8; r++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+	}
+	recs := s.Recoveries()
+	if len(recs) != 1 || recs[0].Dead != 0 {
+		t.Fatalf("recoveries %+v, want exactly the death of node 0", recs)
+	}
+	base, err := s.lowestAlive(noNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 1 {
+		t.Fatalf("base station %d, want 1 (lowest survivor)", base)
+	}
+	for i := 0; i < net.Len(); i++ {
+		s.dead[NodeID(i)] = true
+	}
+	if _, err := s.lowestAlive(noNode); err == nil {
+		t.Error("a session with no survivors elected a base station")
+	}
+}

@@ -11,10 +11,20 @@
 //	m2msim -loss 0.05 -fail-node 12 -fail-round 2
 //	m2msim -loss 0.1 -jitter 20             # event-driven rounds, ±20ms link jitter
 //	m2msim -dup 0.2 -jitter 15 -deadline 500
+//	m2msim -partition 20 -partition-round 2 -partition-len 4
+//	m2msim -loss 0.05 -fail-node 12 -fail-round 2 -revive 8
 //
 // With -loss and/or -fail-node the optimal plan is additionally executed
 // on the lossy engine (stop-and-wait, 3 retries) under a seeded fault
 // injector, and per-round delivery outcomes are reported.
+//
+// -partition and -revive switch those rounds to the self-healing churn
+// session: -partition severs a connected side of about that many nodes
+// for -partition-len rounds (the session quarantines the severed side
+// instead of condemning it), and -revive brings -fail-node back at the
+// given round (the session re-admits it and replans). Per-round recovery
+// telemetry — dead, quarantined, epoch-lagging nodes and epoch-fenced
+// frames — is reported alongside delivery quality.
 //
 // Any of -jitter, -dup, or -deadline switches those rounds to the
 // event-driven asynchronous engine: every transmission draws a per-link
@@ -58,8 +68,13 @@ func main() {
 		jitter     = flag.Float64("jitter", 0, "per-link latency jitter amplitude in ms; >0 selects the event-driven engine")
 		dup        = flag.Float64("dup", 0, "per-delivery duplication probability in [0,1); >0 selects the event-driven engine")
 		deadline   = flag.Float64("deadline", 0, "round deadline in ms (0 = none); >0 selects the event-driven engine")
+		partition  = flag.Int("partition", 0, "sever a connected side of about this many nodes (>0 selects the churn session)")
+		partRound  = flag.Int("partition-round", 1, "round at which the partition starts")
+		partLen    = flag.Int("partition-len", 3, "rounds the partition lasts before healing")
+		revive     = flag.Int("revive", 0, "round at which -fail-node comes back to life (0 = never; >0 selects the churn session)")
 	)
 	flag.Parse()
+	validateFlags(*loss, *failNode, *failRound, *jitter, *dup, *deadline, *partition, *partRound, *partLen, *revive)
 
 	var net *m2m.Network
 	if *nodes > 0 {
@@ -172,8 +187,69 @@ func main() {
 		fmt.Printf("%-12s %11.2f mJ %10d\n", a.name, e*1e3, m)
 	}
 
-	if *loss > 0 || *failNode >= 0 || *jitter > 0 || *dup > 0 || *deadline > 0 {
+	switch {
+	case *partition > 0 || *revive > 0:
+		runChurn(net, specs, kind, readings, *seed, *loss, *failNode, *failRound, *revive, *partition, *partRound, *partLen)
+	case *loss > 0 || *failNode >= 0 || *jitter > 0 || *dup > 0 || *deadline > 0:
 		runChaos(opt, net, readings, *seed, *loss, *failNode, *failRound, *jitter, *dup, *deadline)
+	}
+}
+
+// validateFlags rejects inconsistent flag combinations up front, before
+// any network or workload is built, so mistakes fail fast with a clear
+// message instead of surfacing as a confusing mid-run error.
+func validateFlags(loss float64, failNode, failRound int, jitter, dup, deadline float64, partition, partRound, partLen, revive int) {
+	set := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "m2msim: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	if loss < 0 || loss >= 1 {
+		fail("-loss %v outside [0,1)", loss)
+	}
+	if dup < 0 || dup >= 1 {
+		fail("-dup %v outside [0,1)", dup)
+	}
+	if jitter < 0 {
+		fail("negative -jitter %v", jitter)
+	}
+	if deadline < 0 {
+		fail("negative -deadline %v", deadline)
+	}
+	if set["fail-round"] && failNode < 0 {
+		fail("-fail-round %d without -fail-node", failRound)
+	}
+	if failNode >= 0 && failRound < 0 {
+		fail("negative -fail-round %d", failRound)
+	}
+	if revive != 0 {
+		if revive < 0 {
+			fail("negative -revive %d", revive)
+		}
+		if failNode < 0 {
+			fail("-revive %d without -fail-node", revive)
+		}
+		if revive <= failRound {
+			fail("-revive %d not after -fail-round %d", revive, failRound)
+		}
+	}
+	if (set["partition-round"] || set["partition-len"]) && partition == 0 {
+		fail("-partition-round/-partition-len without -partition")
+	}
+	if partition < 0 {
+		fail("negative -partition %d", partition)
+	}
+	if partition > 0 {
+		if partRound < 0 {
+			fail("negative -partition-round %d", partRound)
+		}
+		if partLen <= 0 {
+			fail("-partition-len %d must be positive", partLen)
+		}
+	}
+	if (partition > 0 || revive > 0) && (jitter > 0 || dup > 0 || deadline > 0) {
+		fail("-partition/-revive run the synchronous churn session; drop -jitter/-dup/-deadline")
 	}
 }
 
@@ -245,6 +321,96 @@ func runChaos(opt *m2m.Plan, net *m2m.Network, readings map[m2m.NodeID]float64, 
 		fmt.Printf("%-6d %11.2f mJ %8d %8d %8d %7d %7d %7d\n",
 			r, res.EnergyJ*1e3, res.Transmissions, res.Retries, res.Dropped, fresh, stale, starved)
 	}
+}
+
+// fixedReadings replays the same per-node readings every round, matching
+// the single-round algorithm comparison above.
+type fixedReadings map[m2m.NodeID]float64
+
+func (f fixedReadings) Next() map[m2m.NodeID]float64 { return f }
+
+// runChurn drives the self-healing session under churn — transient and
+// permanent crashes, revival, and a scheduled network partition — and
+// prints per-round delivery quality plus recovery telemetry.
+func runChurn(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, readings map[m2m.NodeID]float64, seed int64, loss float64, failNode, failRound, reviveRound, sideSize, partRound, partLen int) {
+	inj := m2m.NewFaultInjector(seed)
+	if loss > 0 {
+		inj.WithUniformLoss(loss)
+	}
+	rounds := 6
+	if failNode >= 0 {
+		if failNode >= net.Len() {
+			fmt.Fprintf(os.Stderr, "m2msim: -fail-node %d outside the %d-node network\n", failNode, net.Len())
+			os.Exit(2)
+		}
+		inj.Crash(m2m.NodeID(failNode), failRound)
+		if failRound+4 > rounds {
+			rounds = failRound + 4
+		}
+		if reviveRound > 0 {
+			inj.Revive(m2m.NodeID(failNode), reviveRound)
+			if reviveRound+3 > rounds {
+				rounds = reviveRound + 3
+			}
+		}
+	}
+	if sideSize > 0 {
+		if sideSize >= net.Len() {
+			fmt.Fprintf(os.Stderr, "m2msim: -partition %d must leave part of the %d-node network intact\n", sideSize, net.Len())
+			os.Exit(2)
+		}
+		side := pickSide(net, sideSize)
+		inj.AddPartition(side, partRound, partLen)
+		if partRound+partLen+3 > rounds {
+			rounds = partRound + partLen + 3
+		}
+		fmt.Printf("\npartition: severing %d nodes %v for rounds %d–%d\n",
+			len(side), side, partRound, partRound+partLen-1)
+	}
+	check(inj.Validate())
+	s, err := m2m.NewResilientSession(net, specs, kind, fixedReadings(readings), inj, m2m.ResilientConfig{})
+	check(err)
+	fmt.Printf("\nchurn session (seed %d, loss %.3f):\n", seed, loss)
+	fmt.Printf("%-6s %14s %6s %6s %7s %5s %5s %5s %6s  %s\n",
+		"round", "energy", "fresh", "stale", "starved", "dead", "quar", "lag", "e-drop", "events")
+	for r := 0; r < rounds; r++ {
+		step, err := s.Step()
+		check(err)
+		events := ""
+		for _, ev := range step.Recoveries {
+			events += fmt.Sprintf(" condemned %d (epoch %d)", ev.Dead, s.PlanEpoch())
+		}
+		for _, n := range step.Rejoins {
+			events += fmt.Sprintf(" rejoined %d (epoch %d)", n, s.PlanEpoch())
+		}
+		fmt.Printf("%-6d %11.2f mJ %6d %6d %7d %5d %5d %5d %6d %s\n",
+			r, step.EnergyJ*1e3, step.Fresh, step.Stale, step.Starved,
+			len(s.DeadNodes()), step.Quarantined, step.EpochLag, step.EpochDropped, events)
+	}
+}
+
+// pickSide grows a connected side for -partition, preferring one that
+// leaves node 0 (the dissemination base) on the main side.
+func pickSide(net *m2m.Network, size int) []m2m.NodeID {
+	for s := 1; s < net.Len(); s++ {
+		side, err := chaos.GrowSide(net.Graph, m2m.NodeID(s), size)
+		if err != nil {
+			continue
+		}
+		keep := true
+		for _, n := range side {
+			if n == 0 {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			return side
+		}
+	}
+	fmt.Fprintf(os.Stderr, "m2msim: no connected side of %d nodes excludes node 0\n", size)
+	os.Exit(2)
+	return nil
 }
 
 func countReports(reports map[m2m.NodeID]*sim.DeliveryReport) (fresh, stale, starved int) {

@@ -28,6 +28,8 @@ package chaos
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"m2m/internal/graph"
 	"m2m/internal/routing"
@@ -53,15 +55,40 @@ type Outage struct {
 	Rounds int
 }
 
+// Partition is a correlated outage of a whole link cut-set, expressed as a
+// node bipartition: for rounds [Start, Start+Rounds) every physical link
+// with exactly one endpoint in Side is down, severing Side from the rest
+// of the network while leaving links internal to either side untouched.
+type Partition struct {
+	Side   []graph.NodeID // one side of the bipartition, ascending
+	Start  int
+	Rounds int
+
+	side map[graph.NodeID]bool
+}
+
+// Active reports whether the partition severs the network in round r.
+func (p *Partition) Active(r int) bool { return r >= p.Start && r < p.Start+p.Rounds }
+
+// Cuts reports whether the partition severs the physical link under e
+// (exactly one endpoint inside Side) in round r.
+func (p *Partition) Cuts(r int, e routing.Edge) bool {
+	return p.Active(r) && p.side[e.From] != p.side[e.To]
+}
+
 // Injector is a fault schedule. The zero value injects nothing; configure
 // it with the With/Add/Crash methods (all return the injector for
 // chaining) and hand it to the lossy executor, which consults it through
 // the Deliver/NodeDead schedule interface.
 type Injector struct {
-	seed    int64
-	loss    func(routing.Edge) float64
-	outages map[link][]Outage
-	crashes map[graph.NodeID]int
+	seed       int64
+	loss       func(routing.Edge) float64
+	uniformP   float64 // last WithUniformLoss argument, for Validate
+	hasUniform bool
+	outages    map[link][]Outage
+	crashes    map[graph.NodeID]int
+	revives    map[graph.NodeID]int
+	partitions []Partition
 
 	baseMS    float64
 	jitterMS  float64
@@ -76,20 +103,27 @@ func New(seed int64) *Injector {
 		seed:    seed,
 		outages: make(map[link][]Outage),
 		crashes: make(map[graph.NodeID]int),
+		revives: make(map[graph.NodeID]int),
 	}
 }
 
 // WithLoss installs an explicit per-edge loss schedule. The function must
 // return a probability in [0, 1); it is queried per directed plan edge.
+// Out-of-range returns (NaN, negative, or >= 1) are clamped by LinkLoss
+// rather than silently making Deliver always or never succeed.
 func (in *Injector) WithLoss(fn func(routing.Edge) float64) *Injector {
 	in.loss = fn
+	in.hasUniform = false
 	return in
 }
 
 // WithUniformLoss makes every link lose packets independently with
 // probability p in [0, 1).
 func (in *Injector) WithUniformLoss(p float64) *Injector {
-	return in.WithLoss(func(routing.Edge) float64 { return p })
+	in.WithLoss(func(routing.Edge) float64 { return p })
+	in.uniformP = p
+	in.hasUniform = true
+	return in
 }
 
 // WithDistanceLoss drives per-link loss from link length via the supplied
@@ -134,11 +168,40 @@ func (in *Injector) AddOutage(e routing.Edge, start, rounds int) *Injector {
 	return in
 }
 
-// Crash schedules node n to fail permanently at the given round.
+// AddPartition schedules a correlated cut-set outage for rounds
+// [start, start+rounds): every physical link with exactly one endpoint in
+// side is down for the window, severing the side from the rest of the
+// network in one correlated event rather than as independent link faults.
+func (in *Injector) AddPartition(side []graph.NodeID, start, rounds int) *Injector {
+	p := Partition{
+		Side:   append([]graph.NodeID(nil), side...),
+		Start:  start,
+		Rounds: rounds,
+		side:   make(map[graph.NodeID]bool, len(side)),
+	}
+	sort.Slice(p.Side, func(i, j int) bool { return p.Side[i] < p.Side[j] })
+	for _, n := range p.Side {
+		p.side[n] = true
+	}
+	in.partitions = append(in.partitions, p)
+	return in
+}
+
+// Crash schedules node n to fail permanently at the given round (or until
+// a scheduled Revive, which makes the crash transient).
 func (in *Injector) Crash(n graph.NodeID, round int) *Injector {
 	if prev, ok := in.crashes[n]; !ok || round < prev {
 		in.crashes[n] = round
 	}
+	return in
+}
+
+// Revive schedules crashed node n to come back at the given round, turning
+// its crash into a transient outage: the node is dead for rounds
+// [crash, revive) and alive again from the revive round on. Reviving a
+// node that was never crashed is rejected by Validate.
+func (in *Injector) Revive(n graph.NodeID, round int) *Injector {
+	in.revives[n] = round
 	return in
 }
 
@@ -149,11 +212,33 @@ func (in *Injector) Validate() error {
 			return fmt.Errorf("chaos: node %d crash at negative round %d", n, r)
 		}
 	}
+	for n, r := range in.revives {
+		c, ok := in.crashes[n]
+		if !ok {
+			return fmt.Errorf("chaos: node %d revived at round %d but never crashed", n, r)
+		}
+		if r <= c {
+			return fmt.Errorf("chaos: node %d revive round %d not after crash round %d", n, r, c)
+		}
+	}
 	for l, outs := range in.outages {
 		for _, o := range outs {
 			if o.Start < 0 || o.Rounds <= 0 {
 				return fmt.Errorf("chaos: link %d—%d outage [%d,+%d) invalid", l.a, l.b, o.Start, o.Rounds)
 			}
+		}
+	}
+	for _, p := range in.partitions {
+		if len(p.Side) == 0 {
+			return fmt.Errorf("chaos: partition [%d,+%d) has an empty side", p.Start, p.Rounds)
+		}
+		if p.Start < 0 || p.Rounds <= 0 {
+			return fmt.Errorf("chaos: partition [%d,+%d) invalid", p.Start, p.Rounds)
+		}
+	}
+	if in.hasUniform {
+		if math.IsNaN(in.uniformP) || in.uniformP < 0 || in.uniformP >= 1 {
+			return fmt.Errorf("chaos: uniform loss probability %v outside [0,1)", in.uniformP)
 		}
 	}
 	if in.baseMS < 0 || in.jitterMS < 0 {
@@ -171,30 +256,52 @@ func (in *Injector) Validate() error {
 	return nil
 }
 
-// NodeDead reports whether n has permanently crashed by round r. A dead
-// node neither transmits, receives, nor samples, forever after.
+// NodeDead reports whether n is crashed in round r: from its crash round
+// on, until (exclusive) its revive round if one is scheduled. A dead node
+// neither transmits, receives, nor samples.
 func (in *Injector) NodeDead(round int, n graph.NodeID) bool {
-	r, ok := in.crashes[n]
-	return ok && round >= r
+	c, ok := in.crashes[n]
+	if !ok || round < c {
+		return false
+	}
+	if rv, ok := in.revives[n]; ok && round >= rv {
+		return false
+	}
+	return true
 }
 
 // LinkDown reports whether the physical link under e is inside a scheduled
-// outage window in the given round.
+// outage window — individual or partition cut-set — in the given round.
 func (in *Injector) LinkDown(round int, e routing.Edge) bool {
 	for _, o := range in.outages[linkOf(e)] {
 		if round >= o.Start && round < o.Start+o.Rounds {
 			return true
 		}
 	}
+	for i := range in.partitions {
+		if in.partitions[i].Cuts(round, e) {
+			return true
+		}
+	}
 	return false
 }
 
-// LinkLoss returns the stochastic loss probability configured for e.
+// LinkLoss returns the stochastic loss probability configured for e,
+// clamped into [0, 1): a schedule returning NaN or a negative value loses
+// nothing, and one returning >= 1 is pinned just below certain loss so ARQ
+// retries still draw independently instead of silently never delivering.
 func (in *Injector) LinkLoss(e routing.Edge) float64 {
 	if in.loss == nil {
 		return 0
 	}
-	return in.loss(e)
+	p := in.loss(e)
+	if math.IsNaN(p) || p < 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Nextafter(1, 0)
+	}
+	return p
 }
 
 // Deliver reports whether the attempt-th transmission of the given round
@@ -256,6 +363,65 @@ func (in *Injector) Crashes() map[graph.NodeID]int {
 		out[n] = r
 	}
 	return out
+}
+
+// Revives returns the scheduled (node, round) revival list, unordered.
+func (in *Injector) Revives() map[graph.NodeID]int {
+	out := make(map[graph.NodeID]int, len(in.revives))
+	for n, r := range in.revives {
+		out[n] = r
+	}
+	return out
+}
+
+// Partitions returns the scheduled partitions in insertion order.
+func (in *Injector) Partitions() []Partition {
+	return append([]Partition(nil), in.partitions...)
+}
+
+// PartitionActive reports whether any scheduled partition severs the
+// network in the given round.
+func (in *Injector) PartitionActive(round int) bool {
+	for i := range in.partitions {
+		if in.partitions[i].Active(round) {
+			return true
+		}
+	}
+	return false
+}
+
+// GrowSide picks a connected side of the requested size for a partition:
+// a deterministic BFS from seed over g, expanding in ascending-ID order.
+// It errors if seed is out of range or the component is smaller than size.
+func GrowSide(g *graph.Undirected, seed graph.NodeID, size int) ([]graph.NodeID, error) {
+	if int(seed) < 0 || int(seed) >= g.Len() {
+		return nil, fmt.Errorf("chaos: seed node %d out of range", seed)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("chaos: side size %d not positive", size)
+	}
+	seen := map[graph.NodeID]bool{seed: true}
+	side := []graph.NodeID{seed}
+	for q := []graph.NodeID{seed}; len(q) > 0 && len(side) < size; {
+		n := q[0]
+		q = q[1:]
+		for _, nb := range g.Neighbors(n) {
+			if seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			side = append(side, nb)
+			q = append(q, nb)
+			if len(side) == size {
+				break
+			}
+		}
+	}
+	if len(side) < size {
+		return nil, fmt.Errorf("chaos: component of %d holds only %d nodes, need %d", seed, len(side), size)
+	}
+	sort.Slice(side, func(i, j int) bool { return side[i] < side[j] })
+	return side, nil
 }
 
 // draw01 hashes (seed, round, edge, attempt) to a uniform float64 in

@@ -293,3 +293,152 @@ func TestValidate(t *testing.T) {
 		t.Error("Crashes() lost the schedule")
 	}
 }
+
+func TestReviveMakesCrashTransient(t *testing.T) {
+	in := New(0).Crash(6, 4).Revive(6, 9)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 14; r++ {
+		want := r >= 4 && r < 9
+		if in.NodeDead(r, 6) != want {
+			t.Errorf("round %d: NodeDead = %v, want %v", r, !want, want)
+		}
+	}
+	if got := in.Revives()[graph.NodeID(6)]; got != 9 {
+		t.Errorf("Revives() = %d, want 9", got)
+	}
+}
+
+func TestReviveValidate(t *testing.T) {
+	if err := New(0).Revive(3, 5).Validate(); err == nil {
+		t.Error("revive of a never-crashed node accepted")
+	}
+	if err := New(0).Crash(3, 5).Revive(3, 5).Validate(); err == nil {
+		t.Error("revive at the crash round accepted")
+	}
+	if err := New(0).Crash(3, 5).Revive(3, 4).Validate(); err == nil {
+		t.Error("revive before the crash accepted")
+	}
+	if err := New(0).Crash(3, 5).Revive(3, 6).Validate(); err != nil {
+		t.Errorf("valid revive rejected: %v", err)
+	}
+}
+
+func TestPartitionCutsOnlyCrossingLinks(t *testing.T) {
+	in := New(0).AddPartition([]graph.NodeID{2, 3}, 5, 3)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	crossing := routing.Edge{From: 1, To: 2}
+	internal := routing.Edge{From: 2, To: 3}
+	outside := routing.Edge{From: 0, To: 1}
+	for r := 0; r < 12; r++ {
+		want := r >= 5 && r < 8
+		if in.LinkDown(r, crossing) != want {
+			t.Errorf("round %d: crossing link down = %v, want %v", r, !want, want)
+		}
+		// Both directions of a crossing link are severed.
+		if in.LinkDown(r, routing.Edge{From: 2, To: 1}) != want {
+			t.Errorf("round %d: partition not symmetric", r)
+		}
+		if in.LinkDown(r, internal) || in.LinkDown(r, outside) {
+			t.Errorf("round %d: non-crossing link severed", r)
+		}
+		if in.PartitionActive(r) != want {
+			t.Errorf("round %d: PartitionActive = %v, want %v", r, !want, want)
+		}
+		if want && in.Deliver(r, crossing, 0) {
+			t.Errorf("round %d: delivery across the cut", r)
+		}
+	}
+	ps := in.Partitions()
+	if len(ps) != 1 || len(ps[0].Side) != 2 || ps[0].Side[0] != 2 || ps[0].Side[1] != 3 {
+		t.Errorf("Partitions() = %+v", ps)
+	}
+}
+
+func TestPartitionValidate(t *testing.T) {
+	if err := New(0).AddPartition(nil, 2, 3).Validate(); err == nil {
+		t.Error("empty partition side accepted")
+	}
+	if err := New(0).AddPartition([]graph.NodeID{1}, -1, 3).Validate(); err == nil {
+		t.Error("negative partition start accepted")
+	}
+	if err := New(0).AddPartition([]graph.NodeID{1}, 2, 0).Validate(); err == nil {
+		t.Error("zero-length partition accepted")
+	}
+}
+
+func TestLossScheduleValidateAndClamp(t *testing.T) {
+	if err := New(0).WithUniformLoss(math.NaN()).Validate(); err == nil {
+		t.Error("NaN loss probability accepted")
+	}
+	if err := New(0).WithUniformLoss(-0.1).Validate(); err == nil {
+		t.Error("negative loss probability accepted")
+	}
+	if err := New(0).WithUniformLoss(1).Validate(); err == nil {
+		t.Error("certain loss accepted")
+	}
+	if err := New(0).WithUniformLoss(0.999).Validate(); err != nil {
+		t.Errorf("valid loss rejected: %v", err)
+	}
+	// A later explicit schedule replaces the uniform one in Validate's eyes.
+	if err := New(0).WithUniformLoss(2).WithLoss(func(routing.Edge) float64 { return 0.1 }).Validate(); err != nil {
+		t.Errorf("replaced uniform loss still validated: %v", err)
+	}
+
+	e := routing.Edge{From: 0, To: 1}
+	clamp := func(p float64) float64 {
+		return New(0).WithLoss(func(routing.Edge) float64 { return p }).LinkLoss(e)
+	}
+	if got := clamp(math.NaN()); got != 0 {
+		t.Errorf("NaN clamped to %v, want 0", got)
+	}
+	if got := clamp(-0.5); got != 0 {
+		t.Errorf("negative clamped to %v, want 0", got)
+	}
+	if got := clamp(1.5); got >= 1 || got < 0.999 {
+		t.Errorf("over-unity clamped to %v, want just below 1", got)
+	}
+	// Even a clamped certain-loss schedule draws independently: with the
+	// probability pinned below 1 every attempt still consults the hash, so
+	// ARQ never silently degenerates into a guaranteed black hole.
+	in := New(0).WithLoss(func(routing.Edge) float64 { return 7 })
+	for r := 0; r < 10; r++ {
+		if in.Deliver(r, e, 0) {
+			t.Fatalf("round %d: delivery at near-certain loss", r)
+		}
+	}
+}
+
+func TestGrowSide(t *testing.T) {
+	// Path 0—1—2—3—4 plus an isolated 5.
+	g := graph.NewUndirected(6)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	side, err := GrowSide(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS from 2 expands ascending: 1 then 3.
+	want := []graph.NodeID{1, 2, 3}
+	if len(side) != len(want) {
+		t.Fatalf("side = %v, want %v", side, want)
+	}
+	for i := range want {
+		if side[i] != want[i] {
+			t.Fatalf("side = %v, want %v", side, want)
+		}
+	}
+	if _, err := GrowSide(g, 5, 2); err == nil {
+		t.Error("side larger than the seed's component accepted")
+	}
+	if _, err := GrowSide(g, 9, 1); err == nil {
+		t.Error("out-of-range seed accepted")
+	}
+	if _, err := GrowSide(g, 0, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+}

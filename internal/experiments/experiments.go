@@ -167,6 +167,7 @@ func All() []Runner {
 		{ID: "adaptive", Paper: "Section 4 summary (volatility-adaptive override)", Run: Adaptive},
 		{ID: "chaos", Paper: "robustness extension (fault injection & recovery)", Run: Chaos},
 		{ID: "async", Paper: "robustness extension (latency, duplication, deadlines)", Run: Async},
+		{ID: "churn", Paper: "robustness extension (partitions, revival, epoch fencing)", Run: Churn},
 	}
 }
 

@@ -36,6 +36,37 @@ func RemoveNode(g *graph.Undirected, n graph.NodeID) (*graph.Undirected, error) 
 	return c, nil
 }
 
+// RestoreNode re-attaches a revived node: every link incident to n in the
+// reference graph orig is added back to g, except links to neighbors the
+// skip predicate still reports dead (a nil skip restores all of them).
+// Links that already exist in g are left alone, so restoring is idempotent.
+// This is the inverse surgery of RemoveNode, used when a transient crash
+// ends and the node rejoins the network.
+func RestoreNode(g, orig *graph.Undirected, n graph.NodeID, skip func(graph.NodeID) bool) error {
+	if g.Len() != orig.Len() {
+		return fmt.Errorf("failure: graph size %d differs from reference %d", g.Len(), orig.Len())
+	}
+	if int(n) < 0 || int(n) >= orig.Len() {
+		return fmt.Errorf("failure: node %d out of range", n)
+	}
+	for _, nb := range orig.Neighbors(n) {
+		if skip != nil && skip(nb) {
+			continue
+		}
+		if g.HasEdge(n, nb) {
+			continue
+		}
+		w, err := orig.Weight(n, nb)
+		if err != nil {
+			return err
+		}
+		if err := g.AddEdge(n, nb, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // PruneSpecs removes a dead node from the workload: its own aggregation
 // function (if it was a destination) is dropped, and it is removed as a
 // source from every function. Functions that lose their last source are

@@ -325,3 +325,45 @@ func connectedIgnoring(g *graph.Undirected, isolated graph.NodeID) bool {
 	}
 	return big >= g.Len()-1
 }
+
+func TestRestoreNode(t *testing.T) {
+	orig := graph.NewUndirected(4)
+	orig.AddEdge(0, 1, 1)
+	orig.AddEdge(1, 2, 2)
+	orig.AddEdge(1, 3, 3)
+	g, err := RemoveNode(orig, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 3 is still dead: its link must stay out.
+	if err := RestoreNode(g, orig, 1, func(n graph.NodeID) bool { return n == 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) {
+		t.Error("surviving links not restored")
+	}
+	if g.HasEdge(1, 3) {
+		t.Error("link to a still-dead neighbor restored")
+	}
+	if w, _ := g.Weight(1, 2); w != 2 {
+		t.Errorf("restored weight = %v, want 2", w)
+	}
+	// Idempotent, and a later restore can bring the remaining link back.
+	if err := RestoreNode(g, orig, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(1, 3) {
+		t.Error("full restore left a link out")
+	}
+	if g.Degree(1) != orig.Degree(1) {
+		t.Errorf("degree = %d, want %d", g.Degree(1), orig.Degree(1))
+	}
+
+	if err := RestoreNode(g, orig, 9, nil); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	small := graph.NewUndirected(3)
+	if err := RestoreNode(small, orig, 1, nil); err == nil {
+		t.Error("mismatched graph sizes accepted")
+	}
+}

@@ -459,6 +459,9 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 
 	ls := e.getLossyState()
 	defer e.putLossyState(ls)
+	// The fence reads the original schedule: zeroAsync wrapping must not
+	// hide an Epochs implementation.
+	e.fillEdgeFence(ls, faults)
 	contribs := make([][]contrib, c.nRec)
 	for i, slot := range c.srcSlot {
 		if !af.NodeDead(round, c.srcIDs[i]) {
@@ -594,7 +597,11 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 		wireAtt := attemptSeq[eid]
 		attemptSeq[eid] = wireAtt + 1
 		if !af.NodeDead(round, st.edge.To) && af.Deliver(round, st.edge, wireAtt) {
-			st.anyCopyComing = true
+			// An epoch-fenced copy still arrives (and is paid for), but the
+			// receiver will discard it, so it cannot resolve the message.
+			if ls.edgeOK[eid] {
+				st.anyCopyComing = true
+			}
 			copies := 1 + af.Duplicates(round, st.edge, wireAtt)
 			for c := 0; c < copies; c++ {
 				lat := af.LatencyMS(round, st.edge, wireAtt, 2*c)
@@ -661,6 +668,12 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 			note(ev.t)
 			tag := topo.seqTag[ev.msg]
 			eid := c.msgEdge[ev.msg]
+			if !ls.edgeOK[eid] {
+				// Wrong plan epoch: the frame is heard (RX was paid) but
+				// discarded before the merge, and never acknowledged.
+				res.EpochDropped++
+				continue
+			}
 			if applied[ev.msg] {
 				// The dedup window catches the copy: paid for (RX), then
 				// discarded — the merge never sees it twice.

@@ -94,6 +94,8 @@ type compiled struct {
 
 	msgEdge   []int32 // message index -> dense id of its carrying edge
 	nMsgEdges int
+	edgeFrom  []graph.NodeID // dense edge id -> endpoints, for epoch fencing
+	edgeTo    []graph.NodeID
 
 	covWords int // words per coverage bitset: ceil(len(srcIDs)/64)
 }
@@ -279,6 +281,8 @@ func (e *Engine) compile() error {
 			id = int32(c.nMsgEdges)
 			c.nMsgEdges++
 			edgeID[edge] = id
+			c.edgeFrom = append(c.edgeFrom, edge.From)
+			c.edgeTo = append(c.edgeTo, edge.To)
 		}
 		c.msgEdge[mi] = id
 	}

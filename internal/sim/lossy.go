@@ -27,6 +27,19 @@ type noFaults struct{}
 func (noFaults) NodeDead(int, graph.NodeID) bool     { return false }
 func (noFaults) Deliver(int, routing.Edge, int) bool { return true }
 
+// Epochs is the optional plan-epoch view of a fault schedule: sessions
+// that reconfigure in place implement it next to Faults to fence the
+// executors during dissemination. PlanEpoch is the epoch of the plan the
+// engine is executing; NodeEpoch is the epoch of the routing tables
+// installed at n. A frame crossing an edge whose endpoints do not both run
+// PlanEpoch is transmitted and heard — both radios pay — but the receiver
+// discards it instead of merging (counted in EpochDropped), so a node on a
+// stale plan degrades coverage rather than corrupting aggregates.
+type Epochs interface {
+	PlanEpoch() uint32
+	NodeEpoch(n graph.NodeID) uint32
+}
+
 // DeliveryReport describes how well one destination was served by a lossy
 // round: exactly (fresh), over partial source coverage (stale), or not at
 // all (starved).
@@ -172,6 +185,10 @@ type LossyResult struct {
 	Transmissions int
 	Retries       int
 	Dropped       int
+	// EpochDropped counts heard transmissions the receiver discarded
+	// because the frame's plan epoch mismatched its installed table (each
+	// also leaves its message in Dropped if no attempt ever passes).
+	EpochDropped int
 }
 
 // RunLossy executes one round in which messages actually drop: each
@@ -195,6 +212,7 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 	c := e.prog
 	st := e.getLossyState()
 	defer e.putLossyState(st)
+	e.fillEdgeFence(st, faults)
 	for i, slot := range c.srcSlot {
 		if !faults.NodeDead(round, c.srcIDs[i]) {
 			st.raw[slot] = readings[c.srcIDs[i]]
@@ -247,31 +265,45 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 
 		// Stop-and-wait: transmit until delivered or the budget runs out.
 		// A lost attempt costs the sender TX; the receiver pays RX only
-		// for the attempt it actually hears.
+		// for the attempts it actually hears. An epoch-fenced edge never
+		// delivers: the receiver hears the frame, pays RX, and discards it
+		// without acknowledging, so the sender burns its whole budget.
 		recvDead := faults.NodeDead(round, edge.To)
 		eid := c.msgEdge[mi]
+		fenced := !st.edgeOK[eid]
+		heard := 0
 		for try := 0; try <= maxRetries; try++ {
 			out.Attempts++
 			seq := int(st.attempt[eid])
 			st.attempt[eid]++
 			if !recvDead && faults.Deliver(round, edge, seq) {
+				if fenced {
+					heard++
+					continue
+				}
 				out.Delivered = true
 				break
 			}
 		}
 		txJ := e.Radio.TxJoules(body)
+		rxJ := e.Radio.RxJoules(body)
 		if out.Delivered && out.Attempts == 1 {
 			res.EnergyJ += e.Radio.UnicastJoules(body)
 		} else {
 			res.EnergyJ += float64(out.Attempts) * txJ
 			if out.Delivered {
-				res.EnergyJ += e.Radio.RxJoules(body)
+				res.EnergyJ += rxJ
+			} else {
+				res.EnergyJ += float64(heard) * rxJ
 			}
 		}
 		res.PerNodeJ[edge.From] += float64(out.Attempts) * txJ
 		if out.Delivered {
-			res.PerNodeJ[edge.To] += e.Radio.RxJoules(body)
+			res.PerNodeJ[edge.To] += rxJ
+		} else if heard > 0 {
+			res.PerNodeJ[edge.To] += float64(heard) * rxJ
 		}
+		res.EpochDropped += heard
 		res.Transmissions += out.Attempts
 		res.Retries += out.Attempts - 1
 

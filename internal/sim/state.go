@@ -194,6 +194,7 @@ type lossyState struct {
 	tmp3    []float64 // contribution-fold buffer of the async executor
 	covTmp  []uint64
 	attempt []int32      // per message-edge ARQ attempt sequence
+	edgeOK  []bool       // per message-edge epoch fence (true = epochs match)
 	raws    []carriedRaw // per-message payload snapshot scratch
 	recs    []carriedRec
 }
@@ -211,6 +212,7 @@ func (e *Engine) newLossyState() *lossyState {
 		tmp3:    make([]float64, c.maxRec),
 		covTmp:  make([]uint64, c.covWords),
 		attempt: make([]int32, c.nMsgEdges),
+		edgeOK:  make([]bool, c.nMsgEdges),
 	}
 }
 
@@ -228,9 +230,28 @@ func (e *Engine) getLossyState() *lossyState {
 	for i := range st.attempt {
 		st.attempt[i] = 0
 	}
+	for i := range st.edgeOK {
+		st.edgeOK[i] = true
+	}
 	st.raws = st.raws[:0]
 	st.recs = st.recs[:0]
 	return st
+}
+
+// fillEdgeFence evaluates the epoch fence over the interned message edges:
+// an edge is open only when both endpoints run the executing plan's epoch.
+// Schedules that carry no epoch view leave every edge open (the flags were
+// reset true by getLossyState), so the fence costs nothing when unused.
+func (e *Engine) fillEdgeFence(st *lossyState, faults Faults) {
+	ep, ok := faults.(Epochs)
+	if !ok {
+		return
+	}
+	c := e.prog
+	pe := ep.PlanEpoch()
+	for i := 0; i < c.nMsgEdges; i++ {
+		st.edgeOK[i] = ep.NodeEpoch(c.edgeFrom[i]) == pe && ep.NodeEpoch(c.edgeTo[i]) == pe
+	}
 }
 
 func (e *Engine) putLossyState(st *lossyState) { e.lossyPool.Put(st) }

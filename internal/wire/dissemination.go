@@ -165,26 +165,18 @@ func CostTables(inst *plan.Instance, t *plan.Tables, model radio.Model, base gra
 // dead or partitioned node cannot receive updates (its stale state is
 // harmless because no plan traffic reaches it either).
 func CostUpdate(oldInst, newInst *plan.Instance, oldT, newT *plan.Tables, model radio.Model, base graph.NodeID) (*DisseminationCost, error) {
+	changed, err := ChangedNodes(oldInst, newInst, oldT, newT)
+	if err != nil {
+		return nil, err
+	}
 	bfs := newInst.Net.BFS(base)
-	var changed []graph.NodeID
-	for n := 0; n < newInst.Net.Len(); n++ {
-		id := graph.NodeID(n)
-		if !bfs.Reachable(id) {
-			continue
-		}
-		newBlob, err := EncodeNodeTables(newInst, newT, id)
-		if err != nil {
-			return nil, err
-		}
-		oldBlob, err := EncodeNodeTables(oldInst, oldT, id)
-		if err != nil {
-			return nil, err
-		}
-		if !bytesEqual(oldBlob, newBlob) {
-			changed = append(changed, id)
+	reachable := make([]graph.NodeID, 0, len(changed))
+	for _, id := range changed {
+		if bfs.Reachable(id) {
+			reachable = append(reachable, id)
 		}
 	}
-	return CostTables(newInst, newT, model, base, changed)
+	return CostTables(newInst, newT, model, base, reachable)
 }
 
 func bytesEqual(a, b []byte) bool {

@@ -73,3 +73,31 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeTableDiff hardens the epoch-fenced table-diff decoder:
+// arbitrary bytes are either rejected or decode to a diff that re-encodes
+// byte-identically — never panic, never over-read.
+func FuzzDecodeTableDiff(f *testing.F) {
+	diff, _ := EncodeTableDiff(3, 7, []byte{0, 1, 0, 0, 0, 0, 0, 0})
+	empty, _ := EncodeTableDiff(1, 0, nil)
+	f.Add(diff)
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte{TableDiffMagic})
+	f.Add([]byte{TableDiffMagic, TableDiffVersion, 0, 0, 0, 1, 0, 5, 0, 2})
+	f.Add([]byte{TableDiffMagic, 9, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeTableDiff(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeTableDiff(d.Epoch, d.Node, d.Blob)
+		if err != nil {
+			t.Fatalf("decoded diff failed to re-encode: %v", err)
+		}
+		if !bytesEqual(re, data) {
+			t.Fatalf("diff not byte-identical across round trip:\n%x\n%x", re, data)
+		}
+	})
+}

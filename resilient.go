@@ -6,6 +6,7 @@ import (
 
 	"m2m/internal/chaos"
 	"m2m/internal/failure"
+	"m2m/internal/graph"
 	"m2m/internal/routing"
 	"m2m/internal/sim"
 	"m2m/internal/wire"
@@ -165,6 +166,19 @@ type ResilientStep struct {
 	// Recoveries lists permanent-failure recoveries performed this round
 	// (usually empty).
 	Recoveries []*RecoveryEvent
+	// Quarantined counts nodes held in quarantine this round: alive but
+	// severed from the base station by the round's failures, so they are
+	// ineligible for condemnation until the cut heals.
+	Quarantined int
+	// Rejoins lists nodes that returned from a transient crash this round
+	// and were re-admitted into the workload before it ran.
+	Rejoins []NodeID
+	// EpochLag counts alive nodes still running an older plan epoch after
+	// this round's dissemination pass (their frames are fenced).
+	EpochLag int
+	// EpochDropped counts frames receivers heard but discarded this round
+	// because their plan epoch mismatched the installed tables.
+	EpochDropped int
 }
 
 // ResilientSession runs a workload continuously under a fault schedule
@@ -202,6 +216,11 @@ type ResilientSession struct {
 	faults FaultSchedule
 	cfg    ResilientConfig
 
+	// The pristine topology and workload, kept for RestoreNode surgery and
+	// spec re-admission when a transiently crashed node rejoins.
+	origGraph *graph.Undirected
+	origSpecs []Spec
+
 	round  int
 	values map[NodeID]float64
 	totalJ float64
@@ -212,6 +231,22 @@ type ResilientSession struct {
 	dead       map[NodeID]bool
 	recoveries []*RecoveryEvent
 	pending    []*RecoveryEvent
+
+	// Epoch-fenced reconfiguration state: every replan bumps planEpoch and
+	// owes the nodes whose table blobs changed an epoch-stamped diff over
+	// the lossy channel. Until a node's diff lands it stays in pendingDiff
+	// with its installed epoch in nodeEpoch, and the executors fence every
+	// edge it touches. tables caches the current plan's built tables;
+	// sched is the fence-wrapped fault schedule handed to the executors.
+	tables      *Tables
+	sched       FaultSchedule
+	planEpoch   uint32
+	nodeEpoch   map[NodeID]uint32
+	pendingDiff map[NodeID]bool
+
+	// quarantined holds the nodes of live components this round's failures
+	// severed from the base station — re-derived every failing round.
+	quarantined map[NodeID]bool
 }
 
 // NewResilientSession optimizes the workload and prepares continuous
@@ -244,33 +279,98 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 			return nil, err
 		}
 	}
-	return &ResilientSession{
-		net:        net,
-		kind:       kind,
-		specs:      specs,
-		inst:       inst,
-		plan:       p,
-		engine:     eng,
-		runner:     runner,
-		gen:        gen,
-		faults:     faults,
-		cfg:        cfg,
-		values:     make(map[NodeID]float64),
-		misses:     make(map[NodeID]int),
-		firstMiss:  make(map[NodeID]int),
-		detourRuns: make(map[routing.Edge]int),
-		dead:       make(map[NodeID]bool),
-	}, nil
+	s := &ResilientSession{
+		net:         net,
+		kind:        kind,
+		specs:       specs,
+		inst:        inst,
+		plan:        p,
+		engine:      eng,
+		runner:      runner,
+		gen:         gen,
+		faults:      faults,
+		cfg:         cfg,
+		origGraph:   net.Graph.Clone(),
+		origSpecs:   append([]Spec(nil), specs...),
+		values:      make(map[NodeID]float64),
+		misses:      make(map[NodeID]int),
+		firstMiss:   make(map[NodeID]int),
+		detourRuns:  make(map[routing.Edge]int),
+		dead:        make(map[NodeID]bool),
+		planEpoch:   1,
+		nodeEpoch:   make(map[NodeID]uint32),
+		pendingDiff: make(map[NodeID]bool),
+		quarantined: make(map[NodeID]bool),
+	}
+	// A fault-free session gets no fence wrapper: the executors then skip
+	// the epoch branch entirely and stay byte-identical to Execute.
+	if faults != nil {
+		if _, ok := faults.(sim.AsyncFaults); ok {
+			s.sched = asyncEpochFence{epochFence{s}}
+		} else {
+			s.sched = epochFence{s}
+		}
+	}
+	return s, nil
 }
 
-// Step executes the next round: run the plan under the fault schedule,
-// ride out what looks transient, recover from what looks permanent.
+// epochFence wraps the session's fault schedule with the plan-epoch view
+// (sim.Epochs) the executors fence on. The delegation is pure, so draws
+// are untouched; only the epoch queries are added.
+type epochFence struct{ s *ResilientSession }
+
+func (f epochFence) NodeDead(round int, n NodeID) bool { return f.s.faults.NodeDead(round, n) }
+func (f epochFence) Deliver(round int, e routing.Edge, attempt int) bool {
+	return f.s.faults.Deliver(round, e, attempt)
+}
+func (f epochFence) PlanEpoch() uint32 { return f.s.planEpoch }
+func (f epochFence) NodeEpoch(n NodeID) uint32 {
+	if e, ok := f.s.nodeEpoch[n]; ok {
+		return e
+	}
+	return f.s.planEpoch
+}
+
+// asyncEpochFence additionally forwards the timing draws so the async
+// executor keeps its latency/duplication behavior through the fence.
+type asyncEpochFence struct{ epochFence }
+
+func (f asyncEpochFence) LatencyMS(round int, e routing.Edge, attempt, c int) float64 {
+	return f.s.faults.(sim.AsyncFaults).LatencyMS(round, e, attempt, c)
+}
+func (f asyncEpochFence) Duplicates(round int, e routing.Edge, attempt int) int {
+	return f.s.faults.(sim.AsyncFaults).Duplicates(round, e, attempt)
+}
+
+// Step executes the next round: re-admit any revived nodes, run the plan
+// under the (epoch-fenced) fault schedule, classify what failed —
+// quarantining severed components instead of condemning them node by
+// node — recover from what looks permanent, and push owed table diffs
+// over the lossy channel.
 func (s *ResilientSession) Step() (*ResilientStep, error) {
+	step := &ResilientStep{Round: s.round}
+
+	// Revived nodes rejoin before the round runs: graph surgery, spec
+	// re-admission, and an incremental replan whose diffs disseminate at
+	// the end of this step — the rejoined region runs one fenced round
+	// before it contributes again.
+	if s.faults != nil && len(s.dead) > 0 {
+		for _, n := range s.DeadNodes() {
+			if s.faults.NodeDead(s.round, n) {
+				continue
+			}
+			if err := s.rejoin(n); err != nil {
+				return nil, err
+			}
+			step.Rejoins = append(step.Rejoins, n)
+		}
+	}
+
 	cur := s.gen.Next()
 	var res *sim.LossyResult
 	var async *sim.AsyncResult
 	if s.runner != nil {
-		ar, err := s.runner.Run(s.round, cur, s.faults)
+		ar, err := s.runner.Run(s.round, cur, s.sched)
 		if err != nil {
 			return nil, err
 		}
@@ -278,12 +378,13 @@ func (s *ResilientSession) Step() (*ResilientStep, error) {
 		res = &ar.LossyResult
 	} else {
 		var err error
-		res, err = s.engine.RunLossy(s.round, cur, s.faults, s.cfg.MaxRetries)
+		res, err = s.engine.RunLossy(s.round, cur, s.sched, s.cfg.MaxRetries)
 		if err != nil {
 			return nil, err
 		}
 	}
-	step := &ResilientStep{Round: s.round, EnergyJ: res.EnergyJ}
+	step.EnergyJ = res.EnergyJ
+	step.EpochDropped = res.EpochDropped
 	if async != nil {
 		step.MakespanMS = async.MakespanMS
 		for _, rep := range res.Reports {
@@ -293,25 +394,83 @@ func (s *ResilientSession) Step() (*ResilientStep, error) {
 		}
 	}
 
+	// Derive this round's quarantine from observed connectivity: an
+	// undirected edge for every delivered message (links that carried
+	// nothing cannot vouch for anything). A component severed from the
+	// base station whose nodes still transmitted is alive but unreachable
+	// — a partition, not a die-off — so the whole component is quarantined
+	// instead of being condemned node by node. Components that went silent
+	// (no transmissions at all) stay on the normal condemnation path.
+	quar := make(map[NodeID]bool)
+	anyFailed := false
+	for _, o := range res.Outcomes {
+		if !o.Delivered {
+			anyFailed = true
+			break
+		}
+	}
+	if anyFailed {
+		if base, berr := s.lowestAlive(noNode); berr == nil {
+			observed := graph.NewUndirected(s.net.Len())
+			transmitted := make(map[NodeID]bool)
+			for _, o := range res.Outcomes {
+				if o.Attempts > 0 {
+					transmitted[o.Edge.From] = true
+				}
+				if o.Delivered && !observed.HasEdge(o.Edge.From, o.Edge.To) {
+					observed.AddEdge(o.Edge.From, o.Edge.To, 1)
+				}
+			}
+			for _, comp := range observed.Components() {
+				inBase, live := false, false
+				for _, n := range comp {
+					inBase = inBase || n == base
+					live = live || transmitted[n]
+				}
+				if inBase || !live {
+					continue
+				}
+				for _, n := range comp {
+					if !s.dead[n] {
+						quar[n] = true
+					}
+				}
+			}
+		}
+	}
+	s.quarantined = quar
+	step.Quarantined = len(quar)
+
 	// Classify this round's observations. A node is vindicated by any
 	// successful send or receipt; it is implicated by silence (dead
 	// senders are the only silent ones) or by exhausting the retry budget
-	// toward it when the detour also comes back empty.
+	// toward it when the detour also comes back empty. Quarantined nodes
+	// are exempt on both sides — the cut explains everything about them —
+	// and so are edges with an epoch-lagging endpoint, where the fence ate
+	// the frame.
 	implicated := make(map[NodeID]bool)
 	vindicated := make(map[NodeID]bool)
+	lagging := func(n NodeID) bool { _, ok := s.nodeEpoch[n]; return ok }
 	for _, o := range res.Outcomes {
 		switch {
 		case o.Attempts == 0:
-			implicated[o.Edge.From] = true
+			if !quar[o.Edge.From] {
+				implicated[o.Edge.From] = true
+			}
 		case o.Delivered:
 			vindicated[o.Edge.From] = true
 			vindicated[o.Edge.To] = true
 			delete(s.detourRuns, o.Edge)
 		default:
 			// The sender kept transmitting, so it is alive; suspicion
-			// falls on the link or the receiver. Ride the link out with a
-			// milestone detour while the budget lasts.
+			// falls on the link or the receiver.
 			vindicated[o.Edge.From] = true
+			if quar[o.Edge.From] || quar[o.Edge.To] || lagging(o.Edge.From) || lagging(o.Edge.To) {
+				// Explained failure: no detour spend, no implication.
+				continue
+			}
+			// Ride the link out with a milestone detour while the budget
+			// lasts.
 			if s.detourRuns[o.Edge] < s.cfg.DetourBudget {
 				s.detourRuns[o.Edge]++
 				if hops, derr := failure.DetourHops(s.net.Graph, o.Edge.From, o.Edge.To, o.Edge.From, o.Edge.To); derr == nil {
@@ -389,9 +548,18 @@ func (s *ResilientSession) Step() (*ResilientStep, error) {
 		if err != nil {
 			return nil, err
 		}
-		step.EnergyJ += ev.ReplanJ
 		step.Recoveries = append(step.Recoveries, ev)
 	}
+
+	// Push owed table diffs over the lossy channel: epoch-stamped frames,
+	// hop-by-hop retries, priced like any other traffic. Whatever fails —
+	// typically a quarantined region — stays pending for the next round.
+	if len(s.pendingDiff) > 0 {
+		if err := s.disseminate(step); err != nil {
+			return nil, err
+		}
+	}
+	step.EpochLag = len(s.pendingDiff)
 
 	step.Values = make(map[NodeID]float64, len(s.values))
 	for d, v := range s.values {
@@ -423,7 +591,7 @@ func (s *ResilientSession) recover(dead NodeID) (*RecoveryEvent, error) {
 	if err != nil {
 		return nil, err
 	}
-	oldTab, err := s.plan.BuildTables()
+	oldTab, err := s.currentTables()
 	if err != nil {
 		return nil, err
 	}
@@ -431,8 +599,15 @@ func (s *ResilientSession) recover(dead NodeID) (*RecoveryEvent, error) {
 	if err != nil {
 		return nil, err
 	}
-	base := s.lowestAlive(dead)
+	base, err := s.lowestAlive(dead)
+	if err != nil {
+		return nil, err
+	}
 	diff, err := wire.CostUpdate(s.inst, newInst, oldTab, newTab, s.net.Radio, base)
+	if err != nil {
+		return nil, err
+	}
+	changed, err := wire.ChangedNodes(s.inst, newInst, oldTab, newTab)
 	if err != nil {
 		return nil, err
 	}
@@ -481,23 +656,174 @@ func (s *ResilientSession) recover(dead NodeID) (*RecoveryEvent, error) {
 		s.runner = runner
 	}
 	s.dead[dead] = true
+	s.tables = newTab
+	s.bumpEpoch(changed, base)
 	delete(s.misses, dead)
 	delete(s.firstMiss, dead)
+	delete(s.pendingDiff, dead)
+	delete(s.nodeEpoch, dead)
+	delete(s.quarantined, dead)
 	s.recoveries = append(s.recoveries, ev)
 	s.pending = append(s.pending, ev)
 	return ev, nil
 }
 
+// rejoin re-admits a revived node — the inverse of recover. Its original
+// links to still-alive neighbors are restored from the pristine topology,
+// the pristine workload is re-pruned by the remaining dead set (in
+// ascending order, so the rebuilt specs match what successive recoveries
+// would have produced), and the session replans incrementally under a new
+// epoch whose diffs disseminate at the end of the step.
+func (s *ResilientSession) rejoin(n NodeID) error {
+	restore := func(err error) error {
+		s.dead[n] = true
+		return err
+	}
+	g2 := s.net.Graph.Clone()
+	if err := failure.RestoreNode(g2, s.origGraph, n, func(m NodeID) bool { return m != n && s.dead[m] }); err != nil {
+		return err
+	}
+	delete(s.dead, n)
+	specs := append([]Spec(nil), s.origSpecs...)
+	for _, d := range s.DeadNodes() {
+		pruned, _, err := failure.PruneSpecs(specs, d)
+		if err != nil {
+			return restore(fmt.Errorf("m2m: cannot rejoin node %d: %w", n, err))
+		}
+		specs = pruned
+	}
+	net2 := &Network{Layout: s.net.Layout, Graph: g2, Radio: s.net.Radio}
+	newInst, err := net2.NewInstance(specs, s.kind)
+	if err != nil {
+		return restore(err)
+	}
+	recovered, _, err := Reoptimize(s.plan, newInst)
+	if err != nil {
+		return restore(err)
+	}
+	oldTab, err := s.currentTables()
+	if err != nil {
+		return restore(err)
+	}
+	newTab, err := recovered.BuildTables()
+	if err != nil {
+		return restore(err)
+	}
+	changed, err := wire.ChangedNodes(s.inst, newInst, oldTab, newTab)
+	if err != nil {
+		return restore(err)
+	}
+	eng, err := sim.NewEngine(recovered, s.net.Radio, sim.Options{MergeMessages: true})
+	if err != nil {
+		return restore(err)
+	}
+	var runner *sim.AsyncRunner
+	if s.runner != nil {
+		acfg := *s.cfg.Async
+		if acfg.MaxRetries == 0 {
+			acfg.MaxRetries = s.cfg.MaxRetries
+		}
+		if runner, err = sim.NewAsyncRunner(eng, acfg); err != nil {
+			return restore(err)
+		}
+		runner.InheritState(s.runner)
+	}
+	base, err := s.lowestAlive(noNode)
+	if err != nil {
+		return restore(err)
+	}
+
+	s.net = net2
+	s.specs = specs
+	s.inst = newInst
+	s.plan = recovered
+	s.engine = eng
+	if runner != nil {
+		s.runner = runner
+	}
+	s.tables = newTab
+	s.bumpEpoch(changed, base)
+	return nil
+}
+
+// bumpEpoch advances the plan epoch after a replan and marks every alive
+// node whose table blob changed as owed a diff. A node already lagging
+// keeps its older installed epoch (it needs the current tables whatever
+// the latest diff says); the base installs its own tables for free and is
+// never marked.
+func (s *ResilientSession) bumpEpoch(changed []NodeID, base NodeID) {
+	prev := s.planEpoch
+	s.planEpoch++
+	for _, n := range changed {
+		if s.dead[n] || n == base {
+			continue
+		}
+		if _, ok := s.nodeEpoch[n]; !ok {
+			s.nodeEpoch[n] = prev
+		}
+		s.pendingDiff[n] = true
+	}
+}
+
+// disseminate pushes the current epoch's owed table diffs from the base
+// station over the lossy channel and settles the bookkeeping: updated
+// nodes install the current epoch, failed ones stay pending.
+func (s *ResilientSession) disseminate(step *ResilientStep) error {
+	base, err := s.lowestAlive(noNode)
+	if err != nil {
+		return err
+	}
+	nodes := make([]NodeID, 0, len(s.pendingDiff))
+	for n := range s.pendingDiff {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	tab, err := s.currentTables()
+	if err != nil {
+		return err
+	}
+	var sched wire.Schedule
+	if s.faults != nil {
+		sched = s.faults
+	}
+	dres, err := wire.DisseminateTables(s.inst, tab, s.net.Radio, base, nodes, s.planEpoch, sched, s.round, s.cfg.MaxRetries)
+	if err != nil {
+		return err
+	}
+	step.EnergyJ += dres.EnergyJ
+	for _, n := range dres.Updated {
+		delete(s.pendingDiff, n)
+		delete(s.nodeEpoch, n)
+	}
+	return nil
+}
+
+// currentTables lazily builds and caches the executing plan's tables.
+func (s *ResilientSession) currentTables() (*Tables, error) {
+	if s.tables == nil {
+		t, err := s.plan.BuildTables()
+		if err != nil {
+			return nil, err
+		}
+		s.tables = t
+	}
+	return s.tables, nil
+}
+
+// noNode is the sentinel lowestAlive callers pass when no node is dying.
+const noNode = NodeID(-1)
+
 // lowestAlive picks the dissemination base station: the lowest-numbered
-// node not known to be dead.
-func (s *ResilientSession) lowestAlive(dying NodeID) NodeID {
+// node not known to be dead (and not being condemned right now). It
+// errors when nobody survives rather than silently electing dead node 0.
+func (s *ResilientSession) lowestAlive(dying NodeID) (NodeID, error) {
 	for i := 0; i < s.net.Len(); i++ {
 		n := NodeID(i)
 		if !s.dead[n] && n != dying {
-			return n
+			return n, nil
 		}
 	}
-	return 0
+	return 0, fmt.Errorf("m2m: no surviving node to act as base station")
 }
 
 // Rounds returns how many rounds have executed.
@@ -529,3 +855,31 @@ func (s *ResilientSession) Workload() []Spec {
 
 // CurrentPlan returns the plan the session is executing right now.
 func (s *ResilientSession) CurrentPlan() *Plan { return s.plan }
+
+// PlanEpoch returns the epoch of the plan the session is executing; it
+// starts at 1 and bumps on every replan (recovery or rejoin).
+func (s *ResilientSession) PlanEpoch() uint32 { return s.planEpoch }
+
+// QuarantinedNodes returns the nodes held in quarantine after the last
+// round, ascending: alive but severed from the base station, so exempt
+// from condemnation until the cut heals.
+func (s *ResilientSession) QuarantinedNodes() []NodeID {
+	out := make([]NodeID, 0, len(s.quarantined))
+	for n := range s.quarantined {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EpochLaggingNodes returns the alive nodes still owed the current plan
+// epoch's tables, ascending; every edge they touch is fenced until their
+// diff lands.
+func (s *ResilientSession) EpochLaggingNodes() []NodeID {
+	out := make([]NodeID, 0, len(s.pendingDiff))
+	for n := range s.pendingDiff {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
