@@ -1,0 +1,426 @@
+package m2m
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"m2m/internal/failure"
+	"m2m/internal/plan"
+	"m2m/internal/routing"
+	"m2m/internal/wire"
+)
+
+// batterySoakFixture picks a deterministic cast for the evacuation soak: a
+// fixture network plus the plan's hottest relay that is not the base
+// station and whose loss keeps the network connected (so the reactive arm
+// can recover from its death). hotJ is the relay's fault-free per-round
+// spend.
+func batterySoakFixture(t *testing.T) (*Network, []Spec, fixedGen, NodeID, float64) {
+	t.Helper()
+	for _, seed := range []int64{13, 7, 31, 44, 58} {
+		net, specs, gen := chaosFixture(t, seed)
+		inst, err := net.NewInstance(specs, RouterReversePath)
+		if err != nil {
+			continue
+		}
+		p, err := Optimize(inst)
+		if err != nil {
+			continue
+		}
+		res, err := Execute(p, net, gen.Next())
+		if err != nil {
+			continue
+		}
+		hot, hotJ := NodeID(-1), 0.0
+		for n, j := range res.PerNodeJ {
+			if n == 0 {
+				continue // the base station cannot evacuate itself
+			}
+			if j > hotJ || (j == hotJ && j > 0 && n < hot) {
+				hot, hotJ = n, j
+			}
+		}
+		if hot < 0 {
+			continue
+		}
+		if g2, err := failure.RemoveNode(net.Graph, hot); err != nil || len(g2.Components()) > 2 {
+			continue
+		}
+		return net, specs, gen, hot, hotJ
+	}
+	t.Fatal("no seed admits a battery soak cast")
+	return nil, nil, nil, 0, 0
+}
+
+// TestBatterySoakEvacuation is the acceptance soak for the battery-aware
+// runtime. The hot relay gets a battery sized to die after ~30 static
+// rounds; everyone else has ample charge.
+//
+// Reactive arm (no evacuation): the relay browns out on schedule and the
+// session condemns and replans only after the outage.
+//
+// Proactive arm (evacuation on): the relay's beacons trigger an
+// evacuation replan before it fails, the relay survives at least 25%
+// longer (strictly later first death), and the post-evacuation plan is
+// byte-identical — table blobs and a full executed round — to a
+// from-scratch OptimizeWithPrices on the energy-weighted topology.
+func TestBatterySoakEvacuation(t *testing.T) {
+	net, specs, gen, hot, hotJ := batterySoakFixture(t)
+	const hotRounds = 30
+	const roundCap = 150
+
+	// --- Reactive arm: depletion handled after the fact. ---
+	batA, err := NewBattery(net.Len(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batA.SetCapacity(hot, hotJ*hotRounds); err != nil {
+		t.Fatal(err)
+	}
+	sA, err := NewResilientSession(net, specs, RouterReversePath, gen, nil, ResilientConfig{Battery: batA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deathA := -1
+	for r := 0; r < 60; r++ {
+		step, err := sA.Step()
+		if err != nil {
+			t.Fatalf("reactive round %d: %v", r, err)
+		}
+		if step.Evacuations != 0 {
+			t.Fatalf("reactive arm evacuated at round %d", r)
+		}
+		for _, n := range step.Depleted {
+			if n != hot {
+				t.Fatalf("round %d: unexpected depletion of %d", r, n)
+			}
+			deathA = r
+		}
+		if len(sA.Recoveries()) > 0 {
+			break
+		}
+	}
+	if deathA < 0 {
+		t.Fatal("reactive arm: the undersized relay never depleted")
+	}
+	if deathA < hotRounds-2 || deathA > hotRounds+2 {
+		t.Fatalf("reactive first death at round %d, want ~%d", deathA, hotRounds)
+	}
+	recsA := sA.Recoveries()
+	if len(recsA) != 1 || recsA[0].Dead != hot {
+		t.Fatalf("reactive recoveries %+v, want exactly the relay %d", recsA, hot)
+	}
+	if recsA[0].Round <= deathA {
+		t.Fatalf("reactive replan at round %d not after the death at %d", recsA[0].Round, deathA)
+	}
+	if got := batA.FirstDeathRound(); got != deathA {
+		t.Fatalf("ledger first death %d != observed %d", got, deathA)
+	}
+
+	// --- Proactive arm: beacons, forecast, evacuation replan. ---
+	batB, err := NewBattery(net.Len(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batB.SetCapacity(hot, hotJ*hotRounds); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ResilientConfig{Battery: batB, EvacuateHorizonRounds: 20, EvacuateThreshold: 0.5}
+	sB, err := NewResilientSession(net, specs, RouterReversePath, gen, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evacRound := -1
+	for r := 0; r < roundCap; r++ {
+		step, err := sB.Step()
+		if err != nil {
+			t.Fatalf("proactive round %d: %v", r, err)
+		}
+		if step.Evacuations > 0 {
+			if evacRound >= 0 {
+				t.Fatalf("second evacuation at round %d (first at %d)", r, evacRound)
+			}
+			evacRound = r
+			if got := sB.EvacuatedNodes(); len(got) != 1 || got[0] != hot {
+				t.Fatalf("evacuated %v, want exactly the relay %d", got, hot)
+			}
+			if batB.Depleted(hot) {
+				t.Fatalf("relay already dead at its own evacuation, round %d", r)
+			}
+			checkEvacuationByteIdentity(t, net, specs, gen, sB)
+		}
+		if batB.FirstDeathRound() >= 0 {
+			break
+		}
+	}
+	if evacRound < 0 {
+		t.Fatal("proactive arm never evacuated")
+	}
+	if evacRound >= deathA {
+		t.Fatalf("evacuation at round %d is not proactive (reactive death was %d)", evacRound, deathA)
+	}
+	deathB := batB.FirstDeathRound()
+	if deathB < 0 {
+		deathB = roundCap // censored: the relay outlived the whole soak
+	}
+	if deathB <= deathA {
+		t.Fatalf("evacuation did not delay the first death: %d vs reactive %d", deathB, deathA)
+	}
+	if float64(deathB) < 1.25*float64(deathA) {
+		t.Fatalf("lifetime gain too small: first death %d, want >= 1.25 * %d", deathB, deathA)
+	}
+	// No reactive recovery happened before (or because of) the evacuation.
+	for _, rec := range sB.Recoveries() {
+		if rec.Round <= evacRound {
+			t.Fatalf("proactive arm condemned %d at round %d, before the evacuation", rec.Dead, rec.Round)
+		}
+	}
+}
+
+// checkEvacuationByteIdentity rebuilds, from scratch, the instance and
+// plan the session's evacuation should have produced — EvacuationGraph
+// with the default penalty, weighted reverse-path routing, and
+// OptimizeWithPrices under the session's published prices — and checks the
+// session's plan matches byte for byte: every node's table blob, and one
+// executed round's values and energy.
+func checkEvacuationByteIdentity(t *testing.T, net *Network, specs []Spec, gen fixedGen, s *ResilientSession) {
+	t.Helper()
+	prices := s.EnergyPrices()
+	if prices == nil {
+		t.Fatal("no energy prices published after the evacuation")
+	}
+	hotSet := make(map[NodeID]bool)
+	for _, n := range s.EvacuatedNodes() {
+		hotSet[n] = true
+	}
+	wg, err := failure.EvacuationGraph(net.Graph, hotSet, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratchInst, err := plan.NewInstance(wg, routing.NewWeightedReversePath(wg), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := plan.OptimizeWithPrices(scratchInst, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessPlan := s.CurrentPlan()
+	sessTab, err := sessPlan.BuildTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratchTab, err := scratch.BuildTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < net.Len(); i++ {
+		n := NodeID(i)
+		got, err := wire.EncodeNodeTables(sessPlan.Inst, sessTab, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := wire.EncodeNodeTables(scratchInst, scratchTab, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("node %d: incremental evacuation tables differ from a from-scratch plan", n)
+		}
+	}
+	// One executed round must also agree bit for bit.
+	want, err := Execute(scratch, net, gen.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := Execute(sessPlan, net, gen.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if have.EnergyJ != want.EnergyJ {
+		t.Fatalf("post-evacuation round energy %v != from-scratch %v", have.EnergyJ, want.EnergyJ)
+	}
+	for d, v := range want.Values {
+		if have.Values[d] != v {
+			t.Fatalf("post-evacuation value at %d = %v, want %v (bit-exact)", d, have.Values[d], v)
+		}
+	}
+}
+
+// TestBatteryAllDepletedErrors drains every node in the first round: with
+// nobody left to act as base station, the session must surface the
+// no-survivor error instead of silently carrying on.
+func TestBatteryAllDepletedErrors(t *testing.T) {
+	net := GridNetwork(2, 2, 10)
+	specs := []Spec{
+		{Dest: 0, Func: NewWeightedSum(map[NodeID]float64{1: 1, 2: 1, 3: 1})},
+		{Dest: 1, Func: NewWeightedSum(map[NodeID]float64{0: 1})},
+	}
+	gen := fixedGen{0: 1, 1: 2, 2: 3, 3: 4}
+	bat, err := NewBattery(net.Len(), 1e-12) // everyone browns out on their first frame
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewResilientSession(net, specs, RouterReversePath, gen, nil,
+		ResilientConfig{Battery: bat, EvacuateHorizonRounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Step()
+	if err == nil {
+		t.Fatal("a fully depleted network stepped without error")
+	}
+	if !strings.Contains(err.Error(), "no surviving node") {
+		t.Fatalf("error %q does not name the missing base station", err)
+	}
+	if got := len(bat.DepletedNodes()); got != net.Len() {
+		t.Fatalf("%d nodes depleted, want all %d", got, net.Len())
+	}
+}
+
+// TestBatteryDepletionInsideQuarantine depletes a node while a partition
+// holds its side in quarantine: the death is reported in exactly one
+// step's Depleted list, the node is condemned exactly once, and nobody
+// else on the severed side is condemned with it.
+func TestBatteryDepletionInsideQuarantine(t *testing.T) {
+	net, specs, gen := chaosFixture(t, 7)
+	const (
+		sideSize       = 17
+		partitionStart = 3
+		partitionLen   = 8
+		totalRounds    = 18
+	)
+	side, _, y := pickChurnCast(t, net, specs, sideSize)
+	if g2, err := failure.RemoveNode(net.Graph, y); err != nil || len(g2.Components()) > 2 {
+		t.Skip("the in-side source is a cut vertex of this fixture")
+	}
+
+	// Size y's battery from its fault-free per-round spend: three clean
+	// rounds plus a sliver, so the partition's retry inflation browns it
+	// out in the partition's first round.
+	inst, err := net.NewInstance(specs, RouterReversePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := Execute(p, net, gen.Next())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perRound := probe.PerNodeJ[y]
+	if perRound <= 0 {
+		t.Fatalf("cast node %d moves no traffic", y)
+	}
+	bat, err := NewBattery(net.Len(), 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bat.SetCapacity(y, 3.4*perRound); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := NewFaultInjector(7).AddPartition(side, partitionStart, partitionLen)
+	if err := inj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewResilientSession(net, specs, RouterReversePath, gen, inj, ResilientConfig{Battery: bat})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inSide := make(map[NodeID]bool, len(side))
+	for _, n := range side {
+		inSide[n] = true
+	}
+	deathSteps := 0
+	sawQuarantine := false
+	for r := 0; r < totalRounds; r++ {
+		step, err := s.Step()
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		for _, n := range step.Depleted {
+			if n != y {
+				t.Fatalf("round %d: unexpected depletion of %d", r, n)
+			}
+			deathSteps++
+			if r < partitionStart || r >= partitionStart+partitionLen {
+				t.Fatalf("death at round %d landed outside the partition window", r)
+			}
+		}
+		for _, q := range s.QuarantinedNodes() {
+			if inSide[q] {
+				sawQuarantine = true
+			}
+		}
+		for _, d := range s.DeadNodes() {
+			if d != y {
+				t.Fatalf("round %d: false condemnation of %d (dead %v)", r, d, s.DeadNodes())
+			}
+		}
+	}
+	if deathSteps != 1 {
+		t.Fatalf("the death was reported in %d steps, want exactly 1", deathSteps)
+	}
+	if !sawQuarantine {
+		t.Fatal("the partition never quarantined the severed side")
+	}
+	recs := s.Recoveries()
+	if len(recs) != 1 || recs[0].Dead != y {
+		t.Fatalf("recoveries %+v, want exactly one for %d", recs, y)
+	}
+	if got := s.DeadNodes(); len(got) != 1 || got[0] != y {
+		t.Fatalf("dead set %v, want exactly {%d}", got, y)
+	}
+}
+
+// TestSessionLifetimeObservedBurn pins the LifetimeRounds fix: before any
+// round the estimate falls back to the static full-plan burn (the
+// documented lower bound on lifetime), and once suppressed rounds have
+// executed the estimate uses the observed average spend — which, under
+// suppression, stretches the forecast well past the static bound.
+func TestSessionLifetimeObservedBurn(t *testing.T) {
+	net, specs, gen := chaosFixture(t, 31)
+	inst, err := net.NewInstance(specs, RouterReversePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(p, net, PolicyNone, gen, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batteryJ = 100.0
+	staticRounds, _, err := sess.LifetimeRounds(batteryJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staticRounds <= 0 {
+		t.Fatalf("static lifetime %d, want positive", staticRounds)
+	}
+	// Constant readings: the bootstrap pays full price, every suppressed
+	// round after it transmits nothing.
+	const rounds = 5
+	for r := 0; r < rounds; r++ {
+		if _, err := sess.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obsRounds, _, err := sess.LifetimeRounds(batteryJ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observed average burn is bootstrap/5 per node, so the forecast must
+	// stretch accordingly (integer truncation allows a little slack).
+	if obsRounds < (rounds-1)*staticRounds {
+		t.Fatalf("observed lifetime %d did not stretch past the static bound %d under suppression",
+			obsRounds, staticRounds)
+	}
+}

@@ -96,6 +96,9 @@ func BenchmarkAsync(b *testing.B) { benchExperiment(b, "async") }
 // BenchmarkChurn regenerates the partition/epoch-fence/heal-cost table.
 func BenchmarkChurn(b *testing.B) { benchExperiment(b, "churn") }
 
+// BenchmarkBattery regenerates the depletion/evacuation lifetime table.
+func BenchmarkBattery(b *testing.B) { benchExperiment(b, "battery") }
+
 // --- Micro-benchmarks ---
 
 // evalSetup builds the paper's 68-node evaluation network and a workload

@@ -72,9 +72,11 @@ func main() {
 		partRound  = flag.Int("partition-round", 1, "round at which the partition starts")
 		partLen    = flag.Int("partition-len", 3, "rounds the partition lasts before healing")
 		revive     = flag.Int("revive", 0, "round at which -fail-node comes back to life (0 = never; >0 selects the churn session)")
+		battery    = flag.Float64("battery", 0, "per-node battery capacity in joules (>0 selects the battery session)")
+		evacuate   = flag.Int("evac-horizon", 0, "evacuate a relay when its forecast time-to-death drops to this many rounds (0 = reactive only; requires -battery)")
 	)
 	flag.Parse()
-	validateFlags(*loss, *failNode, *failRound, *jitter, *dup, *deadline, *partition, *partRound, *partLen, *revive)
+	validateFlags(*loss, *failNode, *failRound, *jitter, *dup, *deadline, *partition, *partRound, *partLen, *revive, *battery, *evacuate, *router)
 
 	var net *m2m.Network
 	if *nodes > 0 {
@@ -188,6 +190,8 @@ func main() {
 	}
 
 	switch {
+	case *battery > 0:
+		runBattery(net, specs, kind, readings, *seed, *loss, *battery, *evacuate)
 	case *partition > 0 || *revive > 0:
 		runChurn(net, specs, kind, readings, *seed, *loss, *failNode, *failRound, *revive, *partition, *partRound, *partLen)
 	case *loss > 0 || *failNode >= 0 || *jitter > 0 || *dup > 0 || *deadline > 0:
@@ -198,7 +202,7 @@ func main() {
 // validateFlags rejects inconsistent flag combinations up front, before
 // any network or workload is built, so mistakes fail fast with a clear
 // message instead of surfacing as a confusing mid-run error.
-func validateFlags(loss float64, failNode, failRound int, jitter, dup, deadline float64, partition, partRound, partLen, revive int) {
+func validateFlags(loss float64, failNode, failRound int, jitter, dup, deadline float64, partition, partRound, partLen, revive int, battery float64, evacuate int, router string) {
 	set := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	fail := func(format string, args ...interface{}) {
@@ -250,6 +254,23 @@ func validateFlags(loss float64, failNode, failRound int, jitter, dup, deadline 
 	}
 	if (partition > 0 || revive > 0) && (jitter > 0 || dup > 0 || deadline > 0) {
 		fail("-partition/-revive run the synchronous churn session; drop -jitter/-dup/-deadline")
+	}
+	if battery < 0 {
+		fail("negative -battery %v", battery)
+	}
+	if evacuate != 0 {
+		if evacuate < 0 {
+			fail("negative -evac-horizon %d", evacuate)
+		}
+		if battery == 0 {
+			fail("-evac-horizon %d without -battery", evacuate)
+		}
+		if router != "reverse" {
+			fail("-evac-horizon requires -router reverse (weighted detours)")
+		}
+	}
+	if battery > 0 && (jitter > 0 || dup > 0 || deadline > 0 || partition > 0 || revive > 0) {
+		fail("-battery runs the synchronous battery session; drop -jitter/-dup/-deadline/-partition/-revive")
 	}
 }
 
@@ -386,6 +407,64 @@ func runChurn(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, readings 
 		fmt.Printf("%-6d %11.2f mJ %6d %6d %7d %5d %5d %5d %6d %s\n",
 			r, step.EnergyJ*1e3, step.Fresh, step.Stale, step.Starved,
 			len(s.DeadNodes()), step.Quarantined, step.EpochLag, step.EpochDropped, events)
+	}
+}
+
+// runBattery drives the battery-aware session: every node starts with the
+// given capacity, the executors debit actual per-node spend each round,
+// and (with -evac-horizon) the session evacuates traffic off relays
+// forecast to die. The run continues a few rounds past the first
+// exhaustion so its fallout is visible.
+func runBattery(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, readings map[m2m.NodeID]float64, seed int64, loss, capacityJ float64, horizon int) {
+	bat, err := m2m.NewBattery(net.Len(), capacityJ)
+	check(err)
+	var faults m2m.FaultSchedule
+	if loss > 0 {
+		inj := m2m.NewFaultInjector(seed)
+		inj.WithUniformLoss(loss)
+		check(inj.Validate())
+		faults = inj
+	}
+	s, err := m2m.NewResilientSession(net, specs, kind, fixedReadings(readings), faults, m2m.ResilientConfig{
+		Battery:               bat,
+		EvacuateHorizonRounds: horizon,
+	})
+	check(err)
+	fmt.Printf("\nbattery session (seed %d, loss %.3f, %.3g J/node, evac horizon %d):\n",
+		seed, loss, capacityJ, horizon)
+	fmt.Printf("%-6s %14s %6s %6s %7s %5s %12s  %s\n",
+		"round", "energy", "fresh", "stale", "starved", "dead", "min residual", "events")
+	const maxRounds = 500
+	stopAt := -1
+	for r := 0; r < maxRounds; r++ {
+		step, err := s.Step()
+		check(err)
+		events := ""
+		if step.Evacuations > 0 {
+			events += fmt.Sprintf(" evacuated %v (epoch %d)", s.EvacuatedNodes(), s.PlanEpoch())
+		}
+		for _, n := range step.Depleted {
+			events += fmt.Sprintf(" depleted %d", n)
+		}
+		for _, ev := range step.Recoveries {
+			events += fmt.Sprintf(" condemned %d (epoch %d)", ev.Dead, s.PlanEpoch())
+		}
+		if events != "" || r < 3 || stopAt >= 0 {
+			fmt.Printf("%-6d %11.2f mJ %6d %6d %7d %5d %9.2f mJ %s\n",
+				r, step.EnergyJ*1e3, step.Fresh, step.Stale, step.Starved,
+				len(s.DeadNodes()), step.MinResidualJ*1e3, events)
+		}
+		if stopAt < 0 && len(step.Depleted) > 0 {
+			stopAt = r + 3
+		}
+		if stopAt >= 0 && r >= stopAt {
+			break
+		}
+	}
+	if first := bat.FirstDeathRound(); first >= 0 {
+		fmt.Printf("first battery death: round %d (nodes %v)\n", first, bat.DepletedNodes())
+	} else {
+		fmt.Printf("no battery death within %d rounds\n", maxRounds)
 	}
 }
 

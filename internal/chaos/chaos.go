@@ -8,7 +8,9 @@
 //   - transient link outages: a physical link is down for a configured
 //     window of rounds and every transmission in the window is lost;
 //   - permanent node crashes: from its crash round on, a node neither
-//     transmits, receives, nor samples.
+//     transmits, receives, nor samples;
+//   - battery depletions: like a crash, but terminal — a scheduled Revive
+//     never resurrects a node whose battery ran out.
 //
 // For the event-driven asynchronous executor the injector additionally
 // models the timing dimensions of a real channel:
@@ -88,6 +90,7 @@ type Injector struct {
 	outages    map[link][]Outage
 	crashes    map[graph.NodeID]int
 	revives    map[graph.NodeID]int
+	depletions map[graph.NodeID]int
 	partitions []Partition
 
 	baseMS    float64
@@ -100,10 +103,11 @@ type Injector struct {
 // New returns an empty injector whose stochastic draws derive from seed.
 func New(seed int64) *Injector {
 	return &Injector{
-		seed:    seed,
-		outages: make(map[link][]Outage),
-		crashes: make(map[graph.NodeID]int),
-		revives: make(map[graph.NodeID]int),
+		seed:       seed,
+		outages:    make(map[link][]Outage),
+		crashes:    make(map[graph.NodeID]int),
+		revives:    make(map[graph.NodeID]int),
+		depletions: make(map[graph.NodeID]int),
 	}
 }
 
@@ -205,11 +209,29 @@ func (in *Injector) Revive(n graph.NodeID, round int) *Injector {
 	return in
 }
 
+// Deplete schedules node n's battery to hit zero at the given round: from
+// then on the node is permanently silent, exactly like a crash except that
+// no Revive can bring it back — an exhausted battery does not recharge.
+// Use it to inject the depletion failure mode deterministically without a
+// full energy ledger; runtimes with a live sim.Battery get the same
+// signature organically.
+func (in *Injector) Deplete(n graph.NodeID, round int) *Injector {
+	if prev, ok := in.depletions[n]; !ok || round < prev {
+		in.depletions[n] = round
+	}
+	return in
+}
+
 // Validate rejects schedules the executor cannot price.
 func (in *Injector) Validate() error {
 	for n, r := range in.crashes {
 		if r < 0 {
 			return fmt.Errorf("chaos: node %d crash at negative round %d", n, r)
+		}
+	}
+	for n, r := range in.depletions {
+		if r < 0 {
+			return fmt.Errorf("chaos: node %d depletion at negative round %d", n, r)
 		}
 	}
 	for n, r := range in.revives {
@@ -256,10 +278,14 @@ func (in *Injector) Validate() error {
 	return nil
 }
 
-// NodeDead reports whether n is crashed in round r: from its crash round
-// on, until (exclusive) its revive round if one is scheduled. A dead node
-// neither transmits, receives, nor samples.
+// NodeDead reports whether n is down in round r: crashed (from its crash
+// round until an optional revive) or battery-depleted (from its depletion
+// round on, permanently — revives never resurrect an exhausted node). A
+// dead node neither transmits, receives, nor samples.
 func (in *Injector) NodeDead(round int, n graph.NodeID) bool {
+	if d, ok := in.depletions[n]; ok && round >= d {
+		return true
+	}
 	c, ok := in.crashes[n]
 	if !ok || round < c {
 		return false
@@ -369,6 +395,16 @@ func (in *Injector) Crashes() map[graph.NodeID]int {
 func (in *Injector) Revives() map[graph.NodeID]int {
 	out := make(map[graph.NodeID]int, len(in.revives))
 	for n, r := range in.revives {
+		out[n] = r
+	}
+	return out
+}
+
+// Depletions returns the scheduled (node, round) battery-exhaustion list,
+// unordered.
+func (in *Injector) Depletions() map[graph.NodeID]int {
+	out := make(map[graph.NodeID]int, len(in.depletions))
+	for n, r := range in.depletions {
 		out[n] = r
 	}
 	return out

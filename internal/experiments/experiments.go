@@ -168,6 +168,7 @@ func All() []Runner {
 		{ID: "chaos", Paper: "robustness extension (fault injection & recovery)", Run: Chaos},
 		{ID: "async", Paper: "robustness extension (latency, duplication, deadlines)", Run: Async},
 		{ID: "churn", Paper: "robustness extension (partitions, revival, epoch fencing)", Run: Churn},
+		{ID: "battery", Paper: "robustness extension (energy depletion & evacuation replans)", Run: Battery},
 	}
 }
 

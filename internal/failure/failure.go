@@ -67,6 +67,32 @@ func RestoreNode(g, orig *graph.Undirected, n graph.NodeID, skip func(graph.Node
 	return nil
 }
 
+// EvacuationGraph rebuilds g for energy-evacuation routing: every link
+// costs 1 hop except links incident to a hot (energy-critical) node,
+// which cost penalty. Routed with routing.NewWeightedReversePath, traffic
+// detours around hot relays whenever an alternative at most penalty times
+// longer exists — shifting load off a dying node before it fails — while
+// a hot node that is the only way through still carries traffic rather
+// than partitioning the workload. Original edge weights are deliberately
+// dropped: the unweighted routers are hop-count based, so with no hot
+// nodes the rebuilt graph routes identically to g.
+func EvacuationGraph(g *graph.Undirected, hot map[graph.NodeID]bool, penalty float64) (*graph.Undirected, error) {
+	if penalty < 1 {
+		return nil, fmt.Errorf("failure: evacuation penalty %g must be >= 1", penalty)
+	}
+	c := graph.NewUndirected(g.Len())
+	for _, e := range g.Edges() {
+		w := 1.0
+		if hot[e.U] || hot[e.V] {
+			w = penalty
+		}
+		if err := c.AddEdge(e.U, e.V, w); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
 // PruneSpecs removes a dead node from the workload: its own aggregation
 // function (if it was a destination) is dropped, and it is removed as a
 // source from every function. Functions that lose their last source are

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"m2m/internal/agg"
+	"m2m/internal/graph"
 	"m2m/internal/routing"
 )
 
@@ -30,17 +31,26 @@ type UpdateStats struct {
 // result is identical to Optimize(inst) — tests assert this — at a
 // fraction of the work.
 func Reoptimize(old *Plan, inst *Instance) (*Plan, *UpdateStats, error) {
-	p := &Plan{Inst: inst, Method: MethodOptimal, Sol: make(map[routing.Edge]*EdgeSolution, len(inst.EdgeList))}
+	return ReoptimizeWithPrices(old, inst, nil)
+}
+
+// ReoptimizeWithPrices is Reoptimize under per-node energy prices (see
+// Plan.Prices): the new plan is identical to OptimizeWithPrices(inst,
+// prices). An old solution is only reused when, additionally, every
+// endpoint of its edge has the same effective price in both plans — a node
+// whose price moved re-poses its edges' cover problems.
+func ReoptimizeWithPrices(old *Plan, inst *Instance, prices map[graph.NodeID]int64) (*Plan, *UpdateStats, error) {
+	p := &Plan{Inst: inst, Method: MethodOptimal, Sol: make(map[routing.Edge]*EdgeSolution, len(inst.EdgeList)), Prices: prices}
 	stats := &UpdateStats{EdgesTotal: len(inst.EdgeList)}
 	for _, e := range inst.EdgeList {
-		if old != nil && sameEdgeInputs(old.Inst, inst, e) {
+		if old != nil && sameEdgeInputs(old.Inst, inst, e) && sameEdgePrices(old.Prices, prices, inst, e) {
 			if prev, ok := old.Sol[e]; ok && len(prev.ForbiddenRaw) == 0 {
 				p.Sol[e] = cloneSolution(prev)
 				stats.EdgesReused++
 				continue
 			}
 		}
-		sol, err := solveEdge(inst, e, nil)
+		sol, err := solveEdge(inst, e, nil, prices)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -84,6 +94,22 @@ func sameEdgeInputs(oldInst, newInst *Instance, e routing.Edge) bool {
 			return false
 		}
 		if agg.UnitBytes(oldSpec.Func) != agg.UnitBytes(newInst.SpecByDest[d].Func) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameEdgePrices reports whether every endpoint of e's cover problem has
+// the same effective energy price under both price maps.
+func sameEdgePrices(oldPrices, newPrices map[graph.NodeID]int64, inst *Instance, e routing.Edge) bool {
+	for _, s := range inst.EdgeSources(e) {
+		if priceOf(oldPrices, s) != priceOf(newPrices, s) {
+			return false
+		}
+	}
+	for _, d := range inst.EdgeDests(e) {
+		if priceOf(oldPrices, d) != priceOf(newPrices, d) {
 			return false
 		}
 	}

@@ -57,6 +57,21 @@ type Plan struct {
 	Method  Method
 	Sol     map[routing.Edge]*EdgeSolution
 	Repairs int // edges re-solved to restore consistency (0 under Theorem 1's assumptions)
+	// Prices are the per-node energy prices the plan was solved under (nil
+	// or missing entries mean price 1). A node's price multiplies its unit
+	// weight in every edge's vertex-cover problem, so the cover prefers
+	// putting transmission burden on cheap (energy-rich) nodes — the
+	// energy-weighted tiebreak of the evacuation replan.
+	Prices map[graph.NodeID]int64
+}
+
+// priceOf is the effective vertex-cover price of node n: entries below 1
+// (and absent or nil maps) price at 1, the unweighted problem.
+func priceOf(prices map[graph.NodeID]int64, n graph.NodeID) int64 {
+	if p, ok := prices[n]; ok && p > 1 {
+		return p
+	}
+	return 1
 }
 
 // Optimize computes the paper's optimal plan: every edge is solved as an
@@ -66,7 +81,13 @@ type Plan struct {
 // repair loop never fires; otherwise conflicting edges are re-solved with
 // the unavailable raw options forbidden, and Repairs reports how many.
 func Optimize(inst *Instance) (*Plan, error) {
-	p := &Plan{Inst: inst, Method: MethodOptimal, Sol: make(map[routing.Edge]*EdgeSolution, len(inst.EdgeList))}
+	return OptimizeWithPrices(inst, nil)
+}
+
+// OptimizeWithPrices is Optimize with per-node energy prices scaling the
+// cover weights (see Plan.Prices). With a nil map it is exactly Optimize.
+func OptimizeWithPrices(inst *Instance, prices map[graph.NodeID]int64) (*Plan, error) {
+	p := &Plan{Inst: inst, Method: MethodOptimal, Sol: make(map[routing.Edge]*EdgeSolution, len(inst.EdgeList)), Prices: prices}
 	// The single-edge problems are independent by construction (that is
 	// the point of Theorem 1), so solve them in parallel; results are
 	// identical to a sequential pass regardless of scheduling.
@@ -87,7 +108,7 @@ func Optimize(inst *Instance) (*Plan, error) {
 				if i >= len(inst.EdgeList) {
 					return
 				}
-				sols[i], errs[i] = solveEdge(inst, inst.EdgeList[i], nil)
+				sols[i], errs[i] = solveEdge(inst, inst.EdgeList[i], nil, prices)
 			}
 		}()
 	}
@@ -124,7 +145,7 @@ func (p *Plan) repairLoop() error {
 			resolve[v.edge] = true
 		}
 		for e := range resolve {
-			sol, err := solveEdge(p.Inst, e, p.Sol[e].ForbiddenRaw)
+			sol, err := solveEdge(p.Inst, e, p.Sol[e].ForbiddenRaw, p.Prices)
 			if err != nil {
 				return err
 			}
@@ -173,8 +194,10 @@ func AggregateASAP(inst *Instance) *Plan {
 // exactly. U holds the sources S_e (weight: raw unit bytes), V the
 // destinations D_e (weight: that destination's record unit bytes), with the
 // canonical tiebreak keys 2·node (source role) and 2·node+1 (destination
-// role) shared by every edge in the network.
-func solveEdge(inst *Instance, e routing.Edge, forbidRaw map[graph.NodeID]bool) (*EdgeSolution, error) {
+// role) shared by every edge in the network. Non-nil prices multiply each
+// endpoint's weight by its node's energy price, biasing the cover toward
+// keeping traffic off expensive (energy-poor) nodes.
+func solveEdge(inst *Instance, e routing.Edge, forbidRaw map[graph.NodeID]bool, prices map[graph.NodeID]int64) (*EdgeSolution, error) {
 	sources := inst.EdgeSources(e)
 	dests := inst.EdgeDests(e)
 	uIdx := make(map[graph.NodeID]int, len(sources))
@@ -182,11 +205,11 @@ func solveEdge(inst *Instance, e routing.Edge, forbidRaw map[graph.NodeID]bool) 
 	prob := &vcoverProblem{}
 	for i, s := range sources {
 		uIdx[s] = i
-		prob.addU(int(s)*2, int64(agg.RawUnitBytes))
+		prob.addU(int(s)*2, int64(agg.RawUnitBytes)*priceOf(prices, s))
 	}
 	for j, d := range dests {
 		vIdx[d] = j
-		prob.addV(int(d)*2+1, int64(agg.UnitBytes(inst.SpecByDest[d].Func)))
+		prob.addV(int(d)*2+1, int64(agg.UnitBytes(inst.SpecByDest[d].Func))*priceOf(prices, d))
 	}
 	seen := make(map[[2]int]bool)
 	for _, pr := range inst.EdgePairs[e] {

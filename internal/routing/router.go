@@ -79,6 +79,49 @@ func (r *ReversePath) Path(s, d graph.NodeID) ([]graph.NodeID, error) {
 	return path, nil
 }
 
+// WeightedReversePath is ReversePath under the graph's edge weights:
+// every pair routes along the destination-rooted Dijkstra tree
+// (deterministic smallest-ID tiebreaks), so paths converge toward each
+// destination and the suffix property holds by construction, exactly as
+// for ReversePath. Sessions use it with an evacuation graph whose
+// penalized edge weights steer traffic around energy-hot relays; on a
+// uniformly weighted graph it picks the same parents as ReversePath
+// (Dijkstra and BFS share the smallest-ID tiebreak), so plans degrade to
+// the unweighted ones when nothing is penalized.
+type WeightedReversePath struct {
+	net   *graph.Undirected
+	trees map[graph.NodeID]*graph.PathTree
+}
+
+// NewWeightedReversePath returns a WeightedReversePath router over net.
+func NewWeightedReversePath(net *graph.Undirected) *WeightedReversePath {
+	return &WeightedReversePath{net: net, trees: make(map[graph.NodeID]*graph.PathTree)}
+}
+
+// Name implements Router.
+func (r *WeightedReversePath) Name() string { return "weighted-reverse-path" }
+
+// Path implements Router.
+func (r *WeightedReversePath) Path(s, d graph.NodeID) ([]graph.NodeID, error) {
+	if int(s) < 0 || int(s) >= r.net.Len() || int(d) < 0 || int(d) >= r.net.Len() {
+		return nil, fmt.Errorf("routing: node out of range in pair %d→%d", s, d)
+	}
+	t, ok := r.trees[d]
+	if !ok {
+		t = r.net.Dijkstra(d)
+		r.trees[d] = t
+	}
+	if !t.Reachable(s) {
+		return nil, fmt.Errorf("routing: %d unreachable from %d", d, s)
+	}
+	path := []graph.NodeID{s}
+	for v := s; v != d; {
+		v = t.Parent[v]
+		path = append(path, v)
+	}
+	return path, nil
+}
+
 // SourceSPT routes every pair inside the shortest-path tree rooted at the
 // pair's SOURCE — the paper's literal "multicast tree from each source"
 // construction. Per-source structures are genuine trees, but paths of two

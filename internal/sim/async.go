@@ -449,6 +449,10 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 	c := e.prog
 	topo := e.asyncTopology()
 	cfg := a.cfg
+	bat := e.battery
+	down := func(n graph.NodeID) bool {
+		return af.NodeDead(round, n) || (bat != nil && bat.Depleted(n))
+	}
 
 	res := &AsyncResult{LossyResult: LossyResult{
 		Values:   make(map[graph.NodeID]float64, len(c.finals)),
@@ -464,7 +468,7 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 	e.fillEdgeFence(ls, faults)
 	contribs := make([][]contrib, c.nRec)
 	for i, slot := range c.srcSlot {
-		if !af.NodeDead(round, c.srcIDs[i]) {
+		if !down(c.srcIDs[i]) {
 			ls.raw[slot] = readings[c.srcIDs[i]]
 			ls.rawSet[slot] = true
 		}
@@ -483,7 +487,7 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 	pendingIn := make([]int32, len(c.finals))
 	for fi := range c.finals {
 		fo := &c.finals[fi]
-		if !af.NodeDead(round, fo.dest) {
+		if !down(fo.dest) {
 			pendingIn[fi] = topo.inCount[fi]
 			continue
 		}
@@ -583,8 +587,17 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 		}
 	}
 
-	transmit := func(mi int, now float64) {
+	// transmit fires one attempt. With a ledger the sender pays TX up
+	// front — a sender that cannot pay browns out and the attempt never
+	// happens (transmit reports false; no events are scheduled) — and the
+	// receiver pays RX per copy as it is put on the air: only paid copies
+	// are ever scheduled to arrive, so the settled books (attempts·TX +
+	// copies·RX) equal the debits exactly.
+	transmit := func(mi int, now float64) bool {
 		st := &msgs[mi]
+		if bat != nil && !bat.Spend(round, st.edge.From, e.Radio.TxJoules(st.body)) {
+			return false
+		}
 		st.attempts++
 		res.Transmissions++
 		if st.attempts > 1 {
@@ -596,19 +609,25 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 		eid := c.msgEdge[mi]
 		wireAtt := attemptSeq[eid]
 		attemptSeq[eid] = wireAtt + 1
-		if !af.NodeDead(round, st.edge.To) && af.Deliver(round, st.edge, wireAtt) {
-			// An epoch-fenced copy still arrives (and is paid for), but the
-			// receiver will discard it, so it cannot resolve the message.
-			if ls.edgeOK[eid] {
-				st.anyCopyComing = true
-			}
+		if !down(st.edge.To) && af.Deliver(round, st.edge, wireAtt) {
 			copies := 1 + af.Duplicates(round, st.edge, wireAtt)
+			heard := 0
 			for c := 0; c < copies; c++ {
+				if bat != nil && !bat.Spend(round, st.edge.To, e.Radio.RxJoules(st.body)) {
+					break // receiver browned out: this and later copies unheard
+				}
 				lat := af.LatencyMS(round, st.edge, wireAtt, 2*c)
 				push(now+serMS(st.body)+lat, evArrive, mi, wireAtt, c)
+				heard++
+			}
+			// An epoch-fenced copy still arrives (and is paid for), but the
+			// receiver will discard it, so it cannot resolve the message.
+			if heard > 0 && ls.edgeOK[eid] {
+				st.anyCopyComing = true
 			}
 		}
 		push(now+st.rto, evTimeout, mi, st.attempts, 0)
+		return true
 	}
 
 	// Seed the loop: every message with no dependencies fires at t=0, in
@@ -627,8 +646,8 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 		switch ev.kind {
 		case evSend:
 			st := &msgs[ev.msg]
-			if af.NodeDead(round, st.edge.From) {
-				// Dead sender: silence, no attempts, no energy.
+			if down(st.edge.From) {
+				// Dead or depleted sender: silence, no attempts, no energy.
 				resolve(ev.msg, ev.t)
 				continue
 			}
@@ -660,7 +679,11 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 				st.rto = floor
 			}
 			st.firstSendAt = ev.t
-			transmit(ev.msg, ev.t)
+			if !transmit(ev.msg, ev.t) {
+				// The sender browned out before its first attempt: the
+				// message is lost for good, like a dead sender's.
+				resolve(ev.msg, ev.t)
+			}
 
 		case evArrive:
 			st := &msgs[ev.msg]
@@ -735,7 +758,11 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 				if st.rto > cfg.MaxRTOMS {
 					st.rto = cfg.MaxRTOMS
 				}
-				transmit(ev.msg, ev.t)
+				if !transmit(ev.msg, ev.t) && !st.anyCopyComing {
+					// Browned out mid-ARQ with nothing in flight: the
+					// remaining retries are abandoned.
+					resolve(ev.msg, ev.t)
+				}
 			} else if !st.anyCopyComing {
 				// Budget exhausted and nothing in flight: the message is
 				// lost for good.

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"m2m/internal/agg"
 	"m2m/internal/graph"
@@ -54,6 +55,9 @@ type Engine struct {
 	pool      sync.Pool // *RoundState scratch, recycled across rounds
 	lossyPool sync.Pool // *lossyState scratch for the lossy/async paths
 
+	battery  *Battery     // optional residual-energy ledger (Options.Battery)
+	batRound atomic.Int64 // rounds drained on the fault-free paths
+
 	topo     *asyncTopo // message-level DAG for the async executor
 	topoOnce sync.Once  // guards the lazy build so concurrent rounds stay safe
 }
@@ -81,6 +85,13 @@ type Options struct {
 	// 1/(1-p) transmissions. Nil means lossless links. Incompatible with
 	// Broadcast (no per-link ACKs on a broadcast medium).
 	LinkLoss func(routing.Edge) float64
+	// Battery, when non-nil, is the residual-energy ledger every executor
+	// debits. The fault-free executors drain each node's static per-round
+	// share wholesale after the round; the lossy and async executors debit
+	// the actual per-attempt spend and silence nodes whose batteries hit
+	// zero mid-round (see RunLossy/RunAsync). The ledger may be shared
+	// across engines (e.g. across a session's replans).
+	Battery *Battery
 }
 
 // NewEngine prepares an executor for p. It fails if the plan's wait-for
@@ -89,7 +100,7 @@ func NewEngine(p *plan.Plan, model radio.Model, opts Options) (*Engine, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{Plan: p, Radio: model}
+	e := &Engine{Plan: p, Radio: model, battery: opts.Battery}
 	e.units = p.Units()
 	provider := e.buildProviders()
 	if err := e.buildDeps(provider); err != nil {
@@ -277,7 +288,22 @@ func (e *Engine) Run(readings map[graph.NodeID]float64) (*RoundResult, error) {
 	res := &RoundResult{Values: make(map[graph.NodeID]float64, len(e.prog.finals))}
 	e.runCompiled(readings, st, res.Values, nil)
 	e.fillResult(res)
+	e.drainStatic()
 	return res, nil
+}
+
+// drainStatic debits the static per-round spend from the battery ledger
+// after a fault-free round. The fault-free executors cannot model a node
+// falling silent mid-round (no frame there can be lost), so exhaustion is
+// applied at the round boundary; exhaustion *failures* — silenced
+// senders, unheard receivers — only manifest on the lossy and async
+// paths. No-op without a ledger; allocation-free with one.
+func (e *Engine) drainStatic() {
+	if e.battery == nil {
+		return
+	}
+	round := int(e.batRound.Add(1)) - 1
+	e.battery.DrainPerRound(round, e.perNodeJ)
 }
 
 // RunObserved is Run with a unit-level observer (nil behaves like Run).
@@ -292,6 +318,7 @@ func (e *Engine) RunObserved(readings map[graph.NodeID]float64, obs Observer) (*
 	res := &RoundResult{Values: make(map[graph.NodeID]float64, len(e.prog.finals))}
 	e.runCompiled(readings, st, res.Values, obs)
 	e.fillResult(res)
+	e.drainStatic()
 	return res, nil
 }
 
@@ -345,6 +372,7 @@ func (e *Engine) runMapBased(readings map[graph.NodeID]float64, obs Observer) (*
 		values[d] = inst.SpecByDest[d].Func.Eval(rec)
 	}
 
+	e.drainStatic()
 	return &RoundResult{
 		Values:     values,
 		EnergyJ:    e.energyJ,

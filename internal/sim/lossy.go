@@ -202,6 +202,14 @@ type LossyResult struct {
 //
 // With a nil or fault-free schedule the round is byte-identical to Run:
 // same values, same total and per-node energy.
+//
+// With a battery ledger attached (Options.Battery) every attempt debits
+// the sender's TX and every heard frame the receiver's RX. A node that
+// cannot afford a debit browns out mid-round: a browned-out sender
+// abandons its remaining retries (silence — the same signature as a
+// crash, which is what failure detectors key on), and a browned-out
+// receiver stops hearing. Nodes already depleted at round start are
+// gated exactly like dead ones.
 func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults Faults, maxRetries int) (*LossyResult, error) {
 	if maxRetries < 0 {
 		return nil, fmt.Errorf("sim: negative retry budget %d", maxRetries)
@@ -209,12 +217,16 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 	if faults == nil {
 		faults = noFaults{}
 	}
+	bat := e.battery
+	down := func(n graph.NodeID) bool {
+		return faults.NodeDead(round, n) || (bat != nil && bat.Depleted(n))
+	}
 	c := e.prog
 	st := e.getLossyState()
 	defer e.putLossyState(st)
 	e.fillEdgeFence(st, faults)
 	for i, slot := range c.srcSlot {
-		if !faults.NodeDead(round, c.srcIDs[i]) {
+		if !down(c.srcIDs[i]) {
 			st.raw[slot] = readings[c.srcIDs[i]]
 			st.rawSet[slot] = true
 		}
@@ -230,8 +242,8 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 	for mi, msg := range e.messages {
 		edge := e.units[msg[0]].Edge
 		out := EdgeOutcome{Edge: edge}
-		if faults.NodeDead(round, edge.From) {
-			// Dead sender: silence, no energy anywhere.
+		if down(edge.From) {
+			// Dead or depleted sender: silence, no energy anywhere.
 			res.Dropped++
 			res.Outcomes = append(res.Outcomes, out)
 			continue
@@ -268,15 +280,27 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 		// for the attempts it actually hears. An epoch-fenced edge never
 		// delivers: the receiver hears the frame, pays RX, and discards it
 		// without acknowledging, so the sender burns its whole budget.
-		recvDead := faults.NodeDead(round, edge.To)
+		// With a ledger, each attempt debits the sender up front (a sender
+		// that cannot pay falls silent mid-window) and each heard frame
+		// debits the receiver (a receiver that cannot pay goes deaf).
+		txJ := e.Radio.TxJoules(body)
+		rxJ := e.Radio.RxJoules(body)
+		recvDead := down(edge.To)
 		eid := c.msgEdge[mi]
 		fenced := !st.edgeOK[eid]
 		heard := 0
 		for try := 0; try <= maxRetries; try++ {
+			if bat != nil && !bat.Spend(round, edge.From, txJ) {
+				break // sender browned out mid-ARQ: remaining retries abandoned
+			}
 			out.Attempts++
 			seq := int(st.attempt[eid])
 			st.attempt[eid]++
 			if !recvDead && faults.Deliver(round, edge, seq) {
+				if bat != nil && !bat.Spend(round, edge.To, rxJ) {
+					recvDead = true // receiver browned out: frame unheard
+					continue
+				}
 				if fenced {
 					heard++
 					continue
@@ -285,8 +309,6 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 				break
 			}
 		}
-		txJ := e.Radio.TxJoules(body)
-		rxJ := e.Radio.RxJoules(body)
 		if out.Delivered && out.Attempts == 1 {
 			res.EnergyJ += e.Radio.UnicastJoules(body)
 		} else {
@@ -336,7 +358,7 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 		d := fo.dest
 		rep := &DeliveryReport{Dest: d}
 		res.Reports[d] = rep
-		if faults.NodeDead(round, d) {
+		if down(d) {
 			rep.DestDead = true
 			rep.Starved = true
 			rep.Missing = append([]graph.NodeID(nil), fo.sources...)

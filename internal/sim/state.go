@@ -136,6 +136,7 @@ func (e *Engine) fillResult(res *RoundResult) {
 func (e *Engine) RunInto(readings map[graph.NodeID]float64, st *RoundState) (*RoundResult, error) {
 	e.runCompiled(readings, st, st.res.Values, nil)
 	e.fillResult(&st.res)
+	e.drainStatic()
 	return &st.res, nil
 }
 
@@ -171,6 +172,7 @@ func (e *Engine) RunConcurrent(batch []map[graph.NodeID]float64, workers int) ([
 				res := &RoundResult{Values: make(map[graph.NodeID]float64, len(e.prog.finals))}
 				e.runCompiled(batch[i], st, res.Values, nil)
 				e.fillResult(res)
+				e.drainStatic()
 				results[i] = res
 			}
 		}()

@@ -489,6 +489,10 @@ type SuppressionRound struct {
 	DeltaValues map[graph.NodeID]float64
 	// EnergyJ is the round's total radio energy.
 	EnergyJ float64
+	// PerNodeJ attributes EnergyJ to the radios that spent it (TX at the
+	// sender, RX at the receiver of every fired message) — the observed
+	// per-node burn lifetime estimates run on. Treat as read-only.
+	PerNodeJ map[graph.NodeID]float64
 	// Messages counts physical messages (one per edge carrying units).
 	Messages int
 	// RawUnits and RecordUnits count transmitted units by kind.
@@ -526,7 +530,10 @@ func (s *Suppressor) Round(deltas map[graph.NodeID]float64) (*SuppressionRound, 
 		}
 	}
 
-	res := &SuppressionRound{DeltaValues: make(map[graph.NodeID]float64)}
+	res := &SuppressionRound{
+		DeltaValues: make(map[graph.NodeID]float64),
+		PerNodeJ:    make(map[graph.NodeID]float64),
+	}
 	for _, sr := range s.seedRaws {
 		if changed(sr.src) {
 			sc.rawSet[sr.flow] = true
@@ -698,6 +705,8 @@ func (s *Suppressor) Round(deltas map[graph.NodeID]float64) (*SuppressionRound, 
 		if body := sc.bodyByEdge[s.edgeIdx[i]]; body > 0 {
 			res.EnergyJ += s.Radio.UnicastJoules(int(body))
 			res.Messages++
+			res.PerNodeJ[s.edgeOrder[i].From] += s.Radio.TxJoules(int(body))
+			res.PerNodeJ[s.edgeOrder[i].To] += s.Radio.RxJoules(int(body))
 		}
 	}
 

@@ -74,6 +74,38 @@ func FuzzDecodeFrame(f *testing.F) {
 	})
 }
 
+// FuzzDecodeBeacon hardens the low-battery beacon decoder: arbitrary
+// bytes are either rejected or decode to a beacon that re-encodes
+// byte-identically (the fixed-point fields are already quantized after a
+// decode) — never panic, never over-read.
+func FuzzDecodeBeacon(f *testing.F) {
+	bc, _ := EncodeBeacon(5, 1234.5, 8.25)
+	zero, _ := EncodeBeacon(0, 0, 0)
+	f.Add(bc)
+	f.Add(zero)
+	f.Add([]byte{})
+	f.Add([]byte{BeaconMagic})
+	f.Add([]byte{BeaconMagic, BeaconVersion, 0, 3, 0, 0, 0, 1, 0, 0, 0, 2})
+	f.Add([]byte{BeaconMagic, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBeacon(data)
+		if err != nil {
+			return
+		}
+		if b.ResidualJ < 0 || b.BurnJPerRound < 0 {
+			t.Fatalf("decoded beacon with negative fields: %+v", b)
+		}
+		re, err := EncodeBeacon(b.Node, b.ResidualJ, b.BurnJPerRound)
+		if err != nil {
+			t.Fatalf("decoded beacon failed to re-encode: %v", err)
+		}
+		if !bytesEqual(re, data) {
+			t.Fatalf("beacon not byte-identical across round trip:\n%x\n%x", re, data)
+		}
+	})
+}
+
 // FuzzDecodeTableDiff hardens the epoch-fenced table-diff decoder:
 // arbitrary bytes are either rejected or decode to a diff that re-encodes
 // byte-identically — never panic, never over-read.

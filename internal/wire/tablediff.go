@@ -127,6 +127,10 @@ type DisseminationResult struct {
 	// fragment-hop's first.
 	Transmissions int
 	Retries       int
+	// PerNodeJ attributes EnergyJ to the radios that spent it: TX at each
+	// hop's sender per attempt, RX at the receiver of a delivered hop.
+	// Battery-aware sessions debit these from the energy ledger.
+	PerNodeJ map[graph.NodeID]float64
 }
 
 // DisseminateTables pushes epoch-stamped table diffs to the given nodes
@@ -150,7 +154,7 @@ func DisseminateTables(inst *plan.Instance, t *plan.Tables, model radio.Model, b
 	targets := append([]graph.NodeID(nil), nodes...)
 	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
 	bfs := inst.Net.BFS(base)
-	res := &DisseminationResult{}
+	res := &DisseminationResult{PerNodeJ: make(map[graph.NodeID]float64)}
 	attempts := make(map[routing.Edge]int)
 	for _, n := range targets {
 		blob, err := EncodeNodeTables(inst, t, n)
@@ -208,6 +212,10 @@ func DisseminateTables(inst *plan.Instance, t *plan.Tables, model radio.Model, b
 					if delivered {
 						res.EnergyJ += model.RxJoules(size)
 					}
+				}
+				res.PerNodeJ[e.From] += float64(tries) * model.TxJoules(size)
+				if delivered {
+					res.PerNodeJ[e.To] += model.RxJoules(size)
 				}
 				if !delivered {
 					ok = false

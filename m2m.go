@@ -82,6 +82,19 @@ type Policy = sim.Policy
 // RadioModel is the per-byte energy model of the motes.
 type RadioModel = radio.Model
 
+// Battery is a per-node residual-energy ledger shared by the executors:
+// they debit each node's actual radio spend and a node whose residual
+// hits zero stops transmitting.
+type Battery = sim.Battery
+
+// NewBattery creates a ledger for n nodes, each starting with capacityJ
+// joules of charge.
+func NewBattery(n int, capacityJ float64) (*Battery, error) { return sim.NewBattery(n, capacityJ) }
+
+// DefaultBatteryCapacityJ is the per-node capacity the CLI and
+// experiments use when none is specified.
+const DefaultBatteryCapacityJ = sim.DefaultBatteryCapacityJ
+
 // Override policies (Section 3).
 const (
 	PolicyNone         = sim.PolicyNone

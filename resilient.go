@@ -2,11 +2,13 @@ package m2m
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"m2m/internal/chaos"
 	"m2m/internal/failure"
 	"m2m/internal/graph"
+	"m2m/internal/plan"
 	"m2m/internal/routing"
 	"m2m/internal/sim"
 	"m2m/internal/wire"
@@ -125,6 +127,28 @@ type ResilientConfig struct {
 	// value caches survive recovery replans. MaxRetries still bounds
 	// retransmissions unless Async.MaxRetries overrides it.
 	Async *AsyncConfig
+	// Battery, when non-nil, attaches a shared per-node energy ledger:
+	// every round debits each node's actual spend (per-attempt ARQ
+	// retransmissions, beacons, and dissemination traffic included) and a
+	// node whose residual hits zero falls permanently silent, to be
+	// condemned and planned around through the same machinery as a crash.
+	// The ledger must cover exactly the network's nodes and is shared
+	// across every replan's engine.
+	Battery *Battery
+	// EvacuateHorizonRounds enables proactive evacuation (battery sessions
+	// only): when a beaconing node's forecast time-to-death drops to this
+	// many rounds or fewer, the session replans traffic off it before it
+	// dies. Zero disables evacuation — depleted nodes are then handled
+	// reactively, after the outage. Requires RouterReversePath.
+	EvacuateHorizonRounds int
+	// EvacuateThreshold is the residual-charge fraction below which a node
+	// starts piggybacking low-battery beacons toward the base station
+	// (default 0.25).
+	EvacuateThreshold float64
+	// EvacuatePenalty is the edge-weight multiplier applied to edges
+	// incident to evacuating nodes when routes are rebuilt, steering
+	// detours away from dying relays (default 8, minimum 1).
+	EvacuatePenalty float64
 }
 
 func (c ResilientConfig) withDefaults() ResilientConfig {
@@ -136,6 +160,12 @@ func (c ResilientConfig) withDefaults() ResilientConfig {
 	}
 	if c.DetourBudget == 0 {
 		c.DetourBudget = 5
+	}
+	if c.EvacuateThreshold == 0 {
+		c.EvacuateThreshold = 0.25
+	}
+	if c.EvacuatePenalty == 0 {
+		c.EvacuatePenalty = 8
 	}
 	return c
 }
@@ -179,6 +209,17 @@ type ResilientStep struct {
 	// EpochDropped counts frames receivers heard but discarded this round
 	// because their plan epoch mismatched the installed tables.
 	EpochDropped int
+	// Depleted lists the nodes whose battery hit zero during this round,
+	// ascending (battery sessions only).
+	Depleted []NodeID
+	// Evacuations counts nodes proactively evacuated this round: their
+	// forecast time-to-death crossed the horizon and the session shifted
+	// traffic off them with an energy-weighted replan.
+	Evacuations int
+	// MinResidualJ is the smallest residual charge among non-depleted
+	// nodes after the round (battery sessions only; zero otherwise, and
+	// zero once every node is exhausted).
+	MinResidualJ float64
 }
 
 // ResilientSession runs a workload continuously under a fault schedule
@@ -247,6 +288,16 @@ type ResilientSession struct {
 	// quarantined holds the nodes of live components this round's failures
 	// severed from the base station — re-derived every failing round.
 	quarantined map[NodeID]bool
+
+	// Battery-aware state: per-node spend observed at the last round
+	// boundary (to derive burn rates), the smoothed burn-rate estimates
+	// the base station has heard over beacons, the nodes already
+	// evacuated, and the energy prices the last evacuation imposed on the
+	// planner (nil until the first evacuation).
+	prevSpent map[NodeID]float64
+	burn      map[NodeID]float64
+	evacuated map[NodeID]bool
+	prices    map[NodeID]int64
 }
 
 // NewResilientSession optimizes the workload and prepares continuous
@@ -256,6 +307,23 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 	if gen == nil {
 		return nil, fmt.Errorf("m2m: nil reading generator")
 	}
+	if cfg.Battery != nil && cfg.Battery.Len() != net.Len() {
+		return nil, fmt.Errorf("m2m: battery ledger covers %d nodes, network has %d", cfg.Battery.Len(), net.Len())
+	}
+	if cfg.EvacuateHorizonRounds > 0 {
+		if cfg.Battery == nil {
+			return nil, fmt.Errorf("m2m: evacuation horizon set without a battery ledger")
+		}
+		if kind != RouterReversePath {
+			return nil, fmt.Errorf("m2m: evacuation requires RouterReversePath (weighted detours)")
+		}
+	}
+	if cfg.EvacuateThreshold < 0 || cfg.EvacuateThreshold > 1 {
+		return nil, fmt.Errorf("m2m: evacuation threshold %g outside [0,1]", cfg.EvacuateThreshold)
+	}
+	if cfg.EvacuatePenalty != 0 && cfg.EvacuatePenalty < 1 {
+		return nil, fmt.Errorf("m2m: evacuation penalty %g below 1", cfg.EvacuatePenalty)
+	}
 	inst, err := net.NewInstance(specs, kind)
 	if err != nil {
 		return nil, err
@@ -264,7 +332,7 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 	if err != nil {
 		return nil, err
 	}
-	eng, err := sim.NewEngine(p, net.Radio, sim.Options{MergeMessages: true})
+	eng, err := sim.NewEngine(p, net.Radio, sim.Options{MergeMessages: true, Battery: cfg.Battery})
 	if err != nil {
 		return nil, err
 	}
@@ -302,9 +370,16 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 		pendingDiff: make(map[NodeID]bool),
 		quarantined: make(map[NodeID]bool),
 	}
+	if cfg.Battery != nil {
+		s.prevSpent = make(map[NodeID]float64)
+		s.burn = make(map[NodeID]float64)
+		s.evacuated = make(map[NodeID]bool)
+	}
 	// A fault-free session gets no fence wrapper: the executors then skip
-	// the epoch branch entirely and stay byte-identical to Execute.
-	if faults != nil {
+	// the epoch branch entirely and stay byte-identical to Execute. A
+	// battery session always gets one — exhaustion can strike any round,
+	// and evacuation replans need the epoch fence.
+	if faults != nil || cfg.Battery != nil {
 		if _, ok := faults.(sim.AsyncFaults); ok {
 			s.sched = asyncEpochFence{epochFence{s}}
 		} else {
@@ -316,11 +391,15 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 
 // epochFence wraps the session's fault schedule with the plan-epoch view
 // (sim.Epochs) the executors fence on. The delegation is pure, so draws
-// are untouched; only the epoch queries are added.
+// are untouched; only the epoch queries (and, for battery sessions with a
+// nil fault schedule, the depletion view) are added.
 type epochFence struct{ s *ResilientSession }
 
-func (f epochFence) NodeDead(round int, n NodeID) bool { return f.s.faults.NodeDead(round, n) }
+func (f epochFence) NodeDead(round int, n NodeID) bool { return f.s.nodeDown(round, n) }
 func (f epochFence) Deliver(round int, e routing.Edge, attempt int) bool {
+	if f.s.faults == nil {
+		return true
+	}
 	return f.s.faults.Deliver(round, e, attempt)
 }
 func (f epochFence) PlanEpoch() uint32 { return f.s.planEpoch }
@@ -342,6 +421,15 @@ func (f asyncEpochFence) Duplicates(round int, e routing.Edge, attempt int) int 
 	return f.s.faults.(sim.AsyncFaults).Duplicates(round, e, attempt)
 }
 
+// nodeDown reports whether n is out of action at the given round: crashed
+// per the fault schedule, or battery-exhausted per the ledger.
+func (s *ResilientSession) nodeDown(round int, n NodeID) bool {
+	if b := s.cfg.Battery; b != nil && b.Depleted(n) {
+		return true
+	}
+	return s.faults != nil && s.faults.NodeDead(round, n)
+}
+
 // Step executes the next round: re-admit any revived nodes, run the plan
 // under the (epoch-fenced) fault schedule, classify what failed —
 // quarantining severed components instead of condemning them node by
@@ -358,6 +446,9 @@ func (s *ResilientSession) Step() (*ResilientStep, error) {
 		for _, n := range s.DeadNodes() {
 			if s.faults.NodeDead(s.round, n) {
 				continue
+			}
+			if b := s.cfg.Battery; b != nil && b.Depleted(n) {
+				continue // exhaustion is terminal: a revived schedule cannot recharge it
 			}
 			if err := s.rejoin(n); err != nil {
 				return nil, err
@@ -476,7 +567,7 @@ func (s *ResilientSession) Step() (*ResilientStep, error) {
 				if hops, derr := failure.DetourHops(s.net.Graph, o.Edge.From, o.Edge.To, o.Edge.From, o.Edge.To); derr == nil {
 					step.Detours++
 					step.EnergyJ += float64(hops) * s.net.Radio.UnicastJoules(o.BodyBytes)
-					if s.faults == nil || !s.faults.NodeDead(s.round, o.Edge.To) {
+					if !s.nodeDown(s.round, o.Edge.To) {
 						// The detour got through: the receiver answered.
 						vindicated[o.Edge.To] = true
 						continue
@@ -551,6 +642,15 @@ func (s *ResilientSession) Step() (*ResilientStep, error) {
 		step.Recoveries = append(step.Recoveries, ev)
 	}
 
+	// Battery observation: burn rates from the ledger, low-battery beacons
+	// toward the base, time-to-death forecasts, and proactive evacuation
+	// replans — before dissemination so evacuation diffs go out this round.
+	if s.cfg.Battery != nil && s.cfg.EvacuateHorizonRounds > 0 {
+		if err := s.observeBattery(step); err != nil {
+			return nil, err
+		}
+	}
+
 	// Push owed table diffs over the lossy channel: epoch-stamped frames,
 	// hop-by-hop retries, priced like any other traffic. Whatever fails —
 	// typically a quarantined region — stays pending for the next round.
@@ -560,6 +660,17 @@ func (s *ResilientSession) Step() (*ResilientStep, error) {
 		}
 	}
 	step.EpochLag = len(s.pendingDiff)
+
+	// Battery telemetry reflects everything the round debited, beacons and
+	// dissemination included.
+	if b := s.cfg.Battery; b != nil {
+		for _, n := range b.DepletedNodes() {
+			if b.DepletedAt(n) == s.round {
+				step.Depleted = append(step.Depleted, n)
+			}
+		}
+		step.MinResidualJ = b.MinResidualJ()
+	}
 
 	step.Values = make(map[NodeID]float64, len(s.values))
 	for d, v := range s.values {
@@ -583,11 +694,11 @@ func (s *ResilientSession) recover(dead NodeID) (*RecoveryEvent, error) {
 		return nil, fmt.Errorf("m2m: cannot recover: %w", err)
 	}
 	net2 := &Network{Layout: s.net.Layout, Graph: g2, Radio: s.net.Radio}
-	newInst, err := net2.NewInstance(pruned, s.kind)
+	newInst, err := s.newInstance(g2, pruned)
 	if err != nil {
 		return nil, err
 	}
-	recovered, stats, err := Reoptimize(s.plan, newInst)
+	recovered, stats, err := plan.ReoptimizeWithPrices(s.plan, newInst, s.prices)
 	if err != nil {
 		return nil, err
 	}
@@ -611,7 +722,7 @@ func (s *ResilientSession) recover(dead NodeID) (*RecoveryEvent, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := sim.NewEngine(recovered, s.net.Radio, sim.Options{MergeMessages: true})
+	eng, err := sim.NewEngine(recovered, s.net.Radio, sim.Options{MergeMessages: true, Battery: s.cfg.Battery})
 	if err != nil {
 		return nil, err
 	}
@@ -693,11 +804,11 @@ func (s *ResilientSession) rejoin(n NodeID) error {
 		specs = pruned
 	}
 	net2 := &Network{Layout: s.net.Layout, Graph: g2, Radio: s.net.Radio}
-	newInst, err := net2.NewInstance(specs, s.kind)
+	newInst, err := s.newInstance(g2, specs)
 	if err != nil {
 		return restore(err)
 	}
-	recovered, _, err := Reoptimize(s.plan, newInst)
+	recovered, _, err := plan.ReoptimizeWithPrices(s.plan, newInst, s.prices)
 	if err != nil {
 		return restore(err)
 	}
@@ -713,7 +824,7 @@ func (s *ResilientSession) rejoin(n NodeID) error {
 	if err != nil {
 		return restore(err)
 	}
-	eng, err := sim.NewEngine(recovered, s.net.Radio, sim.Options{MergeMessages: true})
+	eng, err := sim.NewEngine(recovered, s.net.Radio, sim.Options{MergeMessages: true, Battery: s.cfg.Battery})
 	if err != nil {
 		return restore(err)
 	}
@@ -744,6 +855,232 @@ func (s *ResilientSession) rejoin(n NodeID) error {
 	s.tables = newTab
 	s.bumpEpoch(changed, base)
 	return nil
+}
+
+// beaconAttemptBase offsets the delivery-draw attempt numbers beacon hops
+// consume, in a space disjoint from both the data plane's and the table
+// disseminator's, so battery chatter cannot perturb either's loss draws
+// (draws are pure in (round, edge, attempt)).
+const beaconAttemptBase = 1 << 21
+
+// observeBattery runs the base station's energy bookkeeping after a
+// round: derive per-node burn rates from the ledger, collect low-battery
+// beacons over the wire layer, forecast each beaconing node's
+// time-to-death, and evacuate any whose forecast crossed the horizon.
+func (s *ResilientSession) observeBattery(step *ResilientStep) error {
+	b := s.cfg.Battery
+	base, err := s.lowestAlive(noNode)
+	if err != nil {
+		return err
+	}
+	bfs := s.inst.Net.BFS(base)
+	attempts := make(map[routing.Edge]int)
+	var dying []NodeID
+	for i := 0; i < s.net.Len(); i++ {
+		n := NodeID(i)
+		spent := b.SpentJ(n)
+		delta := spent - s.prevSpent[n]
+		s.prevSpent[n] = spent
+		if s.dead[n] || b.Depleted(n) {
+			delete(s.burn, n)
+			continue
+		}
+		// Smooth the burn estimate so one quiet or busy round does not
+		// swing the forecast.
+		if prev, ok := s.burn[n]; ok {
+			s.burn[n] = 0.5*prev + 0.5*delta
+		} else if delta > 0 {
+			s.burn[n] = delta
+		}
+		if n == base || s.evacuated[n] || s.burn[n] <= 0 {
+			continue
+		}
+		if b.Residual(n)/b.CapacityJ(n) >= s.cfg.EvacuateThreshold {
+			continue
+		}
+		// Below the threshold the node advertises its state toward the
+		// base; the forecast uses what the wire actually carried
+		// (fixed-point quantized), not the ledger's ground truth.
+		bc, err := s.sendBeacon(bfs, n, attempts, step)
+		if err != nil {
+			return err
+		}
+		if bc == nil || bc.BurnJPerRound <= 0 {
+			continue // beacon lost en route: try again next round
+		}
+		if bc.ResidualJ/bc.BurnJPerRound <= float64(s.cfg.EvacuateHorizonRounds) {
+			dying = append(dying, bc.Node)
+		}
+	}
+	if len(dying) == 0 {
+		return nil
+	}
+	return s.evacuate(dying, step)
+}
+
+// sendBeacon carries node n's battery advertisement hop-by-hop toward the
+// base station along the dissemination tree. Every hop is priced like any
+// other traffic and debited from the ledger; beacons are best-effort
+// (single attempt per hop, no ARQ), so a dead or browned-out relay, or a
+// lost frame, returns nil — the node beacons again next round. On success
+// it returns the beacon as the base station decoded it.
+func (s *ResilientSession) sendBeacon(bfs *graph.PathTree, n NodeID, attempts map[routing.Edge]int, step *ResilientStep) (*wire.Beacon, error) {
+	b := s.cfg.Battery
+	frame, err := wire.EncodeBeacon(n, b.Residual(n), s.burn[n])
+	if err != nil {
+		return nil, err
+	}
+	path := bfs.PathTo(n)
+	if path == nil {
+		return nil, nil // severed from the base: nothing to piggyback on
+	}
+	body := len(frame)
+	txJ := s.net.Radio.TxJoules(body)
+	rxJ := s.net.Radio.RxJoules(body)
+	for h := len(path) - 1; h > 0; h-- {
+		e := routing.Edge{From: path[h], To: path[h-1]}
+		if s.nodeDown(s.round, e.From) || !b.Spend(s.round, e.From, txJ) {
+			return nil, nil
+		}
+		step.EnergyJ += txJ
+		seq := beaconAttemptBase + attempts[e]
+		attempts[e]++
+		if s.nodeDown(s.round, e.To) {
+			return nil, nil
+		}
+		if s.faults != nil && !s.faults.Deliver(s.round, e, seq) {
+			return nil, nil
+		}
+		if !b.Spend(s.round, e.To, rxJ) {
+			return nil, nil // receiver browned out: frame unheard
+		}
+		step.EnergyJ += rxJ
+	}
+	bc, err := wire.DecodeBeacon(frame)
+	if err != nil {
+		return nil, err
+	}
+	return &bc, nil
+}
+
+// evacuate shifts traffic off relays forecast to die within the horizon,
+// before they fail: routes are rebuilt on an energy-weighted copy of the
+// topology whose edges into evacuating nodes carry EvacuatePenalty, every
+// edge's vertex cover is re-posed with residual-scaled node prices, and
+// the incremental plan disseminates under a new epoch exactly like a
+// recovery replan — except nothing has failed yet.
+func (s *ResilientSession) evacuate(dying []NodeID, step *ResilientStep) error {
+	for _, n := range dying {
+		s.evacuated[n] = true
+	}
+	prices := s.energyPrices()
+	newInst, err := s.newInstance(s.net.Graph, s.specs)
+	if err != nil {
+		return err
+	}
+	replanned, _, err := plan.ReoptimizeWithPrices(s.plan, newInst, prices)
+	if err != nil {
+		return err
+	}
+	oldTab, err := s.currentTables()
+	if err != nil {
+		return err
+	}
+	newTab, err := replanned.BuildTables()
+	if err != nil {
+		return err
+	}
+	changed, err := wire.ChangedNodes(s.inst, newInst, oldTab, newTab)
+	if err != nil {
+		return err
+	}
+	base, err := s.lowestAlive(noNode)
+	if err != nil {
+		return err
+	}
+	eng, err := sim.NewEngine(replanned, s.net.Radio, sim.Options{MergeMessages: true, Battery: s.cfg.Battery})
+	if err != nil {
+		return err
+	}
+	var runner *sim.AsyncRunner
+	if s.runner != nil {
+		acfg := *s.cfg.Async
+		if acfg.MaxRetries == 0 {
+			acfg.MaxRetries = s.cfg.MaxRetries
+		}
+		if runner, err = sim.NewAsyncRunner(eng, acfg); err != nil {
+			return err
+		}
+		runner.InheritState(s.runner)
+	}
+
+	s.inst = newInst
+	s.plan = replanned
+	s.engine = eng
+	if runner != nil {
+		s.runner = runner
+	}
+	s.prices = prices
+	s.tables = newTab
+	s.bumpEpoch(changed, base)
+	step.Evacuations += len(dying)
+	return nil
+}
+
+// energyPrices derives the planner's per-node price map from the ledger:
+// a healthy node keeps the implicit price 1, while a node below the
+// beacon threshold (or already evacuated) climbs toward 5 as its residual
+// fraction falls to zero, so cover solutions shed bytes from the dying
+// first.
+func (s *ResilientSession) energyPrices() map[NodeID]int64 {
+	b := s.cfg.Battery
+	prices := make(map[NodeID]int64)
+	for i := 0; i < s.net.Len(); i++ {
+		n := NodeID(i)
+		if s.dead[n] {
+			continue
+		}
+		frac := 0.0
+		if !b.Depleted(n) {
+			frac = b.Residual(n) / b.CapacityJ(n)
+		}
+		if frac >= s.cfg.EvacuateThreshold && !s.evacuated[n] {
+			continue
+		}
+		if p := 1 + int64(math.Round((1-frac)*4)); p > 1 {
+			prices[n] = p
+		}
+	}
+	return prices
+}
+
+// hotNodes returns the still-alive evacuated nodes — the ones route
+// rebuilds must detour around.
+func (s *ResilientSession) hotNodes() map[NodeID]bool {
+	hot := make(map[NodeID]bool, len(s.evacuated))
+	for n := range s.evacuated {
+		if !s.dead[n] {
+			hot[n] = true
+		}
+	}
+	return hot
+}
+
+// newInstance resolves routes for specs over g, honoring any evacuation
+// in force: with no hot nodes it uses the session's configured router;
+// otherwise it routes with weighted reverse-path trees over an
+// energy-weighted copy of g that penalizes edges into hot nodes.
+func (s *ResilientSession) newInstance(g *graph.Undirected, specs []Spec) (*Instance, error) {
+	hot := s.hotNodes()
+	if len(hot) == 0 {
+		net2 := &Network{Layout: s.net.Layout, Graph: g, Radio: s.net.Radio}
+		return net2.NewInstance(specs, s.kind)
+	}
+	wg, err := failure.EvacuationGraph(g, hot, s.cfg.EvacuatePenalty)
+	if err != nil {
+		return nil, err
+	}
+	return plan.NewInstance(wg, routing.NewWeightedReversePath(wg), specs)
 }
 
 // bumpEpoch advances the plan epoch after a replan and marks every alive
@@ -783,14 +1120,21 @@ func (s *ResilientSession) disseminate(step *ResilientStep) error {
 		return err
 	}
 	var sched wire.Schedule
-	if s.faults != nil {
-		sched = s.faults
+	if s.faults != nil || s.cfg.Battery != nil {
+		sched = epochFence{s}
 	}
 	dres, err := wire.DisseminateTables(s.inst, tab, s.net.Radio, base, nodes, s.planEpoch, sched, s.round, s.cfg.MaxRetries)
 	if err != nil {
 		return err
 	}
 	step.EnergyJ += dres.EnergyJ
+	if b := s.cfg.Battery; b != nil {
+		// Control traffic drains radios too. Each node's debit is a single
+		// aggregated amount, so map order cannot change the outcome.
+		for n, j := range dres.PerNodeJ {
+			b.Spend(s.round, n, j)
+		}
+	}
 	for _, n := range dres.Updated {
 		delete(s.pendingDiff, n)
 		delete(s.nodeEpoch, n)
@@ -814,14 +1158,20 @@ func (s *ResilientSession) currentTables() (*Tables, error) {
 const noNode = NodeID(-1)
 
 // lowestAlive picks the dissemination base station: the lowest-numbered
-// node not known to be dead (and not being condemned right now). It
-// errors when nobody survives rather than silently electing dead node 0.
+// node not known to be dead (and not being condemned right now). A
+// battery-exhausted node cannot serve either. It errors when nobody
+// survives rather than silently electing dead node 0.
 func (s *ResilientSession) lowestAlive(dying NodeID) (NodeID, error) {
+	b := s.cfg.Battery
 	for i := 0; i < s.net.Len(); i++ {
 		n := NodeID(i)
-		if !s.dead[n] && n != dying {
-			return n, nil
+		if s.dead[n] || n == dying {
+			continue
 		}
+		if b != nil && b.Depleted(n) {
+			continue
+		}
+		return n, nil
 	}
 	return 0, fmt.Errorf("m2m: no surviving node to act as base station")
 }
@@ -869,6 +1219,30 @@ func (s *ResilientSession) QuarantinedNodes() []NodeID {
 		out = append(out, n)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EvacuatedNodes returns the nodes the session has proactively evacuated
+// so far, ascending (including any that later died anyway).
+func (s *ResilientSession) EvacuatedNodes() []NodeID {
+	out := make([]NodeID, 0, len(s.evacuated))
+	for n := range s.evacuated {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EnergyPrices returns a copy of the per-node energy prices the planner
+// is currently solving under, or nil before the first evacuation.
+func (s *ResilientSession) EnergyPrices() map[NodeID]int64 {
+	if s.prices == nil {
+		return nil
+	}
+	out := make(map[NodeID]int64, len(s.prices))
+	for n, p := range s.prices {
+		out[n] = p
+	}
 	return out
 }
 

@@ -58,6 +58,11 @@ type Session struct {
 	values  map[NodeID]float64
 	totalJ  float64
 	changed int
+
+	// observedJ accumulates each node's actual spend across executed
+	// rounds (bootstrap plus every suppressed round) — the burn rates
+	// LifetimeRounds extrapolates from.
+	observedJ map[NodeID]float64
 }
 
 // SessionStep reports one executed round.
@@ -97,6 +102,7 @@ func NewSession(p *Plan, net *Network, policy Policy, gen ReadingGenerator, thre
 		sup:       sup,
 		gen:       gen,
 		threshold: threshold,
+		observedJ: make(map[NodeID]float64),
 	}, nil
 }
 
@@ -117,6 +123,10 @@ func (s *Session) Step() (*SessionStep, error) {
 		}
 		step.EnergyJ = res.EnergyJ
 		step.Changed = len(cur)
+		// The bootstrap runs the full plan, whose per-node split is static.
+		for n, j := range s.engine.PerNodeEnergy() {
+			s.observedJ[n] += j
+		}
 	} else {
 		deltas := readings.Deltas(s.prev, cur, s.threshold)
 		r, err := s.sup.Round(deltas)
@@ -128,6 +138,9 @@ func (s *Session) Step() (*SessionStep, error) {
 		}
 		step.EnergyJ = r.EnergyJ
 		step.Changed = len(deltas)
+		for n, j := range r.PerNodeJ {
+			s.observedJ[n] += j
+		}
 	}
 	// Suppressed sources keep their last-transmitted reading as the
 	// network-visible state.
@@ -175,9 +188,19 @@ func (s *Session) Values() map[NodeID]float64 {
 // TotalEnergyJ returns the session's accumulated communication energy.
 func (s *Session) TotalEnergyJ() float64 { return s.totalJ }
 
-// LifetimeRounds estimates rounds until the first node dies if every
-// round cost the full (unsuppressed) plan energy — a conservative bound.
-// The per-node costs are reading-independent, so no round is executed.
+// LifetimeRounds estimates rounds until the first node dies, dividing the
+// battery by each node's observed average per-round spend across the
+// rounds executed so far — suppression savings included. Before the first
+// round there is nothing observed yet, so it falls back to the static
+// full-plan cost: the pessimistic upper bound on burn rate (every round
+// priced as if unsuppressed), hence a lower bound on lifetime.
 func (s *Session) LifetimeRounds(batteryJ float64) (int, NodeID, error) {
-	return sim.LifetimeRounds(s.engine.PerNodeEnergy(), batteryJ)
+	if s.round == 0 {
+		return sim.LifetimeRounds(s.engine.PerNodeEnergy(), batteryJ)
+	}
+	avg := make(map[NodeID]float64, len(s.observedJ))
+	for n, j := range s.observedJ {
+		avg[n] = j / float64(s.round)
+	}
+	return sim.LifetimeRounds(avg, batteryJ)
 }
