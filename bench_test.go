@@ -99,6 +99,9 @@ func BenchmarkChurn(b *testing.B) { benchExperiment(b, "churn") }
 // BenchmarkBattery regenerates the depletion/evacuation lifetime table.
 func BenchmarkBattery(b *testing.B) { benchExperiment(b, "battery") }
 
+// BenchmarkByzantine regenerates the adversarial accuracy-vs-bytes table.
+func BenchmarkByzantine(b *testing.B) { benchExperiment(b, "byzantine") }
+
 // --- Micro-benchmarks ---
 
 // evalSetup builds the paper's 68-node evaluation network and a workload

@@ -1,0 +1,355 @@
+package m2m
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"m2m/internal/chaos"
+	"m2m/internal/failure"
+	"m2m/internal/plan"
+	"m2m/internal/sim"
+	"m2m/internal/wire"
+)
+
+// Adversary is the Byzantine corruption schedule the executors consult
+// at the pre-aggregation boundary. FaultInjector implements it once
+// WithByzantine windows are configured.
+type Adversary = sim.Adversary
+
+// ByzMode selects how a Byzantine node lies about its own reading (see
+// FaultInjector.WithByzantine).
+type ByzMode = chaos.ByzMode
+
+// Byzantine misbehavior modes, re-exported from the chaos injector.
+const (
+	ByzStuck   = chaos.ByzStuck
+	ByzOffset  = chaos.ByzOffset
+	ByzAmplify = chaos.ByzAmplify
+	ByzSpray   = chaos.ByzSpray
+	// Forever marks an open-ended fault window.
+	Forever = chaos.Forever
+)
+
+// ParseByzMode parses a misbehavior mode name: "stuck", "offset",
+// "amplify", or "spray".
+func ParseByzMode(s string) (ByzMode, error) { return chaos.ParseByzMode(s) }
+
+// ByzantineConfig tunes the outlier-quarantine loop of a
+// ResilientSession. The loop assumes commensurate sensors: every
+// monitored source samples the same physical field, so an honest
+// reading sits within a few robust scales of the population median.
+// Zero values select the defaults noted on each field.
+type ByzantineConfig struct {
+	// GateK is the residual gate in robust scales: a source whose
+	// reported reading sits more than GateK scaled deviations from the
+	// robust center is a suspect this round (default 6).
+	GateK float64
+	// Window is how many consecutive suspect rounds a source survives
+	// before its specs are excised and the session replans without it
+	// (default 3).
+	Window int
+	// CleanRounds is how many consecutive in-gate rounds an excised
+	// source must show before it is re-admitted into the workload
+	// (default 8).
+	CleanRounds int
+	// MinScale floors the robust scale estimate, so a quiescent field
+	// (near-zero dispersion) does not turn sensor noise into suspicion
+	// (default 1).
+	MinScale float64
+}
+
+func (c ByzantineConfig) withDefaults() (ByzantineConfig, error) {
+	if c.GateK == 0 {
+		c.GateK = 6
+	}
+	if c.Window == 0 {
+		c.Window = 3
+	}
+	if c.CleanRounds == 0 {
+		c.CleanRounds = 8
+	}
+	if c.MinScale == 0 {
+		c.MinScale = 1
+	}
+	if c.GateK < 0 || c.Window < 0 || c.CleanRounds < 0 || c.MinScale < 0 ||
+		math.IsNaN(c.GateK) || math.IsNaN(c.MinScale) {
+		return c, fmt.Errorf("m2m: negative byzantine config %+v", c)
+	}
+	return c, nil
+}
+
+// ExcisionEvent records one quarantine decision: a source excised from
+// the workload for sustained out-of-gate reporting, and (eventually) its
+// re-admission.
+type ExcisionEvent struct {
+	// Node is the excised source.
+	Node NodeID
+	// Round is the round of the excision replan.
+	Round int
+	// Residual is the offending deviation at excision, in robust scales.
+	Residual float64
+	// ReplanJ and ReplanBytes price disseminating the excision replan's
+	// table diff from the base station.
+	ReplanJ     float64
+	ReplanBytes int
+	// ReadmittedRound is the round the node was re-admitted after
+	// sustained clean behavior; -1 while still excised.
+	ReadmittedRound int
+}
+
+// observeByzantine runs the base station's outlier audit after a round:
+// collect every monitored source's reported reading, locate the robust
+// center (median) and scale (MAD), flag out-of-gate reporters, excise
+// sources that stayed suspect for Window consecutive rounds, and
+// re-admit excised sources that stayed clean for CleanRounds.
+//
+// The center and scale are estimated over the non-excised reports only:
+// known liars must not drag the scale up and widen their own gate. With
+// fewer than three live non-excised sources the audit abstains — a
+// median of two tells nothing.
+func (s *ResilientSession) observeByzantine(cur map[NodeID]float64, step *ResilientStep) error {
+	adv, _ := s.faults.(Adversary)
+	if adv == nil {
+		return nil // nothing on this schedule can lie
+	}
+	reports := make(map[NodeID]float64, len(s.monitored))
+	est := make([]float64, 0, len(s.monitored))
+	for _, n := range s.monitored {
+		if s.dead[n] || s.nodeDown(s.round, n) {
+			continue
+		}
+		r := adv.CorruptReading(s.round, n, cur[n])
+		reports[n] = r
+		if !s.excised[n] {
+			est = append(est, r)
+		}
+	}
+	if len(est) < 3 {
+		return nil
+	}
+	center := median(est)
+	scale := 1.4826 * medianAbsDev(est, center)
+	if scale < s.byz.MinScale {
+		scale = s.byz.MinScale
+	}
+
+	var toExcise, toReadmit []NodeID
+	residuals := make(map[NodeID]float64)
+	for _, n := range s.monitored {
+		r, ok := reports[n]
+		if !ok {
+			continue
+		}
+		dev := math.Abs(r-center) / scale
+		if dev > s.byz.GateK {
+			s.cleanRuns[n] = 0
+			s.suspectRuns[n]++
+			step.Suspects = append(step.Suspects, n)
+			if !s.excised[n] && s.suspectRuns[n] >= s.byz.Window {
+				toExcise = append(toExcise, n)
+				residuals[n] = dev
+			}
+			continue
+		}
+		s.suspectRuns[n] = 0
+		if s.excised[n] {
+			s.cleanRuns[n]++
+			if s.cleanRuns[n] >= s.byz.CleanRounds {
+				toReadmit = append(toReadmit, n)
+			}
+		}
+	}
+	for _, n := range toExcise {
+		ev, err := s.excise(n, residuals[n])
+		if err != nil {
+			return err
+		}
+		step.Excisions = append(step.Excisions, ev)
+	}
+	for _, n := range toReadmit {
+		if err := s.readmit(n); err != nil {
+			return err
+		}
+		step.Readmissions = append(step.Readmissions, n)
+	}
+	return nil
+}
+
+// excise removes a sustained outlier from the workload: its specs are
+// pruned (as source everywhere, as destination entirely) and the session
+// replans incrementally under a new epoch. The node itself stays in the
+// graph — in this fault model a compromised mote lies about its own
+// sensor but relays others' traffic faithfully, so routing through it
+// remains sound.
+func (s *ResilientSession) excise(n NodeID, residual float64) (*ExcisionEvent, error) {
+	pruned, _, err := failure.PruneSpecs(s.specs, n)
+	if err != nil {
+		return nil, fmt.Errorf("m2m: cannot excise node %d: %w", n, err)
+	}
+	replanJ, replanBytes, err := s.replanSpecs(pruned)
+	if err != nil {
+		return nil, err
+	}
+	s.excised[n] = true
+	s.suspectRuns[n] = 0
+	s.cleanRuns[n] = 0
+	ev := &ExcisionEvent{
+		Node:            n,
+		Round:           s.round,
+		Residual:        residual,
+		ReplanJ:         replanJ,
+		ReplanBytes:     replanBytes,
+		ReadmittedRound: -1,
+	}
+	s.excisions = append(s.excisions, ev)
+	s.openExcision[n] = ev
+	return ev, nil
+}
+
+// readmit restores an excised source that has behaved for CleanRounds
+// consecutive rounds: the workload is rebuilt from the pristine specs
+// minus the dead and still-excised sets, and the session replans
+// incrementally — the inverse of excise, through the same machinery.
+func (s *ResilientSession) readmit(n NodeID) error {
+	delete(s.excised, n)
+	specs, err := s.rebuildSpecs()
+	if err != nil {
+		s.excised[n] = true
+		return fmt.Errorf("m2m: cannot readmit node %d: %w", n, err)
+	}
+	if _, _, err := s.replanSpecs(specs); err != nil {
+		s.excised[n] = true
+		return err
+	}
+	s.cleanRuns[n] = 0
+	if ev := s.openExcision[n]; ev != nil {
+		ev.ReadmittedRound = s.round
+		delete(s.openExcision, n)
+	}
+	return nil
+}
+
+// rebuildSpecs re-derives the current workload from the pristine one:
+// pruned by the dead set, then by the excised set, each in ascending
+// order so the result matches what successive single-node prunes would
+// have produced.
+func (s *ResilientSession) rebuildSpecs() ([]Spec, error) {
+	specs := append([]Spec(nil), s.origSpecs...)
+	for _, d := range s.DeadNodes() {
+		pruned, _, err := failure.PruneSpecs(specs, d)
+		if err != nil {
+			return nil, err
+		}
+		specs = pruned
+	}
+	for _, x := range s.ExcisedNodes() {
+		pruned, _, err := failure.PruneSpecs(specs, x)
+		if err != nil {
+			return nil, err
+		}
+		specs = pruned
+	}
+	return specs, nil
+}
+
+// replanSpecs swaps the session onto a new workload over the unchanged
+// graph: incremental re-optimization against the executing plan, a new
+// engine (and async runner, inheriting RTT estimators and value caches),
+// and a new epoch whose table diffs disseminate at the end of the step.
+// It returns the priced dissemination cost of the diff.
+func (s *ResilientSession) replanSpecs(specs []Spec) (float64, int, error) {
+	newInst, err := s.newInstance(s.net.Graph, specs)
+	if err != nil {
+		return 0, 0, err
+	}
+	replanned, _, err := plan.ReoptimizeWithPrices(s.plan, newInst, s.prices)
+	if err != nil {
+		return 0, 0, err
+	}
+	oldTab, err := s.currentTables()
+	if err != nil {
+		return 0, 0, err
+	}
+	newTab, err := replanned.BuildTables()
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := s.lowestAlive(noNode)
+	if err != nil {
+		return 0, 0, err
+	}
+	diff, err := wire.CostUpdate(s.inst, newInst, oldTab, newTab, s.net.Radio, base)
+	if err != nil {
+		return 0, 0, err
+	}
+	changed, err := wire.ChangedNodes(s.inst, newInst, oldTab, newTab)
+	if err != nil {
+		return 0, 0, err
+	}
+	eng, err := sim.NewEngine(replanned, s.net.Radio, sim.Options{MergeMessages: true, Battery: s.cfg.Battery})
+	if err != nil {
+		return 0, 0, err
+	}
+	var runner *sim.AsyncRunner
+	if s.runner != nil {
+		acfg := *s.cfg.Async
+		if acfg.MaxRetries == 0 {
+			acfg.MaxRetries = s.cfg.MaxRetries
+		}
+		if runner, err = sim.NewAsyncRunner(eng, acfg); err != nil {
+			return 0, 0, err
+		}
+		runner.InheritState(s.runner)
+	}
+	for _, d := range s.inst.Dests() {
+		if _, ok := newInst.SpecByDest[d]; !ok {
+			delete(s.values, d)
+		}
+	}
+	s.specs = specs
+	s.inst = newInst
+	s.plan = replanned
+	s.engine = eng
+	if runner != nil {
+		s.runner = runner
+	}
+	s.tables = newTab
+	s.bumpEpoch(changed, base)
+	return diff.EnergyJ, diff.Bytes, nil
+}
+
+// ExcisedNodes returns the sources currently excised by the quarantine
+// loop, ascending.
+func (s *ResilientSession) ExcisedNodes() []NodeID {
+	out := make([]NodeID, 0, len(s.excised))
+	for n := range s.excised {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Excisions returns every excision event so far, in order; re-admitted
+// nodes carry their ReadmittedRound.
+func (s *ResilientSession) Excisions() []*ExcisionEvent {
+	return append([]*ExcisionEvent(nil), s.excisions...)
+}
+
+// median returns the middle order statistic (lower of the two for even
+// lengths — a sample value, the way the audit wants its center). It
+// scratches over a copy.
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp[(len(cp)-1)/2]
+}
+
+// medianAbsDev returns the median absolute deviation around center.
+func medianAbsDev(xs []float64, center float64) float64 {
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - center)
+	}
+	return median(dev)
+}

@@ -9,6 +9,7 @@
 //	m2mbench -experiment fig7 -seeds 5 -timesteps 20
 //	m2mbench -json                       # core micro-benchmarks as JSON
 //	m2mbench -json -cpuprofile cpu.out   # ... under the CPU profiler
+//	m2mbench -experiment byzantine -json # one experiment's table as JSON
 package main
 
 import (
@@ -77,7 +78,10 @@ func main() {
 		}()
 	}
 
-	if *jsonOut {
+	// -json alone runs the micro-benchmarks; -json with a specific
+	// experiment emits that experiment's table as JSON (the format of the
+	// checked-in BENCH_*.json artifacts).
+	if *jsonOut && *experiment == "all" {
 		if err := runMicroJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -120,7 +124,12 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		if *csv {
+		if *jsonOut {
+			if err := tbl.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else if *csv {
 			fmt.Printf("# %s — %s\n", r.ID, r.Paper)
 			if err := tbl.WriteCSV(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)

@@ -13,6 +13,8 @@
 //	m2msim -dup 0.2 -jitter 15 -deadline 500
 //	m2msim -partition 20 -partition-round 2 -partition-len 4
 //	m2msim -loss 0.05 -fail-node 12 -fail-round 2 -revive 8
+//	m2msim -byzantine 7 -byz-mode amplify -byz-param 50
+//	m2msim -byzantine 7 -byz-round 2 -byz-len 6 -trace stations.csv
 //
 // With -loss and/or -fail-node the optimal plan is additionally executed
 // on the lossy engine (stop-and-wait, 3 retries) under a seeded fault
@@ -34,6 +36,20 @@
 // milliseconds with its best partial aggregate. Retransmission timing is
 // adaptive per link (RTT-estimated with exponential backoff) instead of
 // the synchronous engine's fixed stop-and-wait.
+//
+// -byzantine switches those rounds to the outlier-quarantine session: the
+// named node lies about its own reading in mode -byz-mode (stuck | offset
+// | amplify | spray, scaled by -byz-param) from -byz-round for -byz-len
+// rounds (0 = forever). The session's residual test flags the liar,
+// excises its aggregates after a persistence window, replans without it,
+// and re-admits it once the window ends and it behaves. Per-round suspect
+// and excision telemetry is reported.
+//
+// -trace replays a recorded station-trace file (one text row per round,
+// one reading per node, comma- or whitespace-separated; '#' comments and
+// a header line are skipped) as the reading stream instead of the default
+// synthetic temperatures. The single-round comparison uses the trace's
+// first row; multi-round sessions replay it in order, cycling.
 package main
 
 import (
@@ -60,7 +76,8 @@ func main() {
 		router     = flag.String("router", "reverse", "router: reverse | shared")
 		seed       = flag.Int64("seed", 1, "workload/network seed")
 		values     = flag.Bool("values", false, "print computed destination values")
-		trace      = flag.Bool("trace", false, "print every message unit of the optimal plan's round")
+		traceUnits = flag.Bool("trace-units", false, "print every message unit of the optimal plan's round")
+		traceFile  = flag.String("trace", "", "replay a station-trace file (one row per round, one reading per node) as the reading stream")
 		wlFile     = flag.String("workload", "", "load the workload from a spec file instead of generating it")
 		loss       = flag.Float64("loss", 0, "uniform per-attempt link loss probability in [0,1); >0 runs the lossy engine")
 		failNode   = flag.Int("fail-node", -1, "node to crash permanently under fault injection (-1 = none)")
@@ -74,9 +91,14 @@ func main() {
 		revive     = flag.Int("revive", 0, "round at which -fail-node comes back to life (0 = never; >0 selects the churn session)")
 		battery    = flag.Float64("battery", 0, "per-node battery capacity in joules (>0 selects the battery session)")
 		evacuate   = flag.Int("evac-horizon", 0, "evacuate a relay when its forecast time-to-death drops to this many rounds (0 = reactive only; requires -battery)")
+		byzNode    = flag.Int("byzantine", -1, "node that lies about its own reading (-1 = none; >=0 selects the quarantine session)")
+		byzMode    = flag.String("byz-mode", "stuck", "misbehavior mode for -byzantine: stuck | offset | amplify | spray")
+		byzParam   = flag.Float64("byz-param", 1000, "misbehavior parameter: stuck value, per-round offset, gain, or spray amplitude")
+		byzRound   = flag.Int("byz-round", 0, "round at which -byzantine starts lying")
+		byzLen     = flag.Int("byz-len", 0, "rounds the lying lasts (0 = forever)")
 	)
 	flag.Parse()
-	validateFlags(*loss, *failNode, *failRound, *jitter, *dup, *deadline, *partition, *partRound, *partLen, *revive, *battery, *evacuate, *router)
+	validateFlags(*loss, *failNode, *failRound, *jitter, *dup, *deadline, *partition, *partRound, *partLen, *revive, *battery, *evacuate, *router, *byzNode, *byzMode, *byzRound, *byzLen)
 
 	var net *m2m.Network
 	if *nodes > 0 {
@@ -121,16 +143,41 @@ func main() {
 	for i := 0; i < net.Len(); i++ {
 		readings[m2m.NodeID(i)] = 20 + rng.NormFloat64()*5 // temperature-ish
 	}
+	var traceRows [][]float64
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		check(err)
+		traceRows, err = m2m.ParseTrace(f)
+		f.Close()
+		check(err)
+		tr, err := m2m.NewTraceReadings(net.Len(), traceRows)
+		check(err)
+		readings = tr.Next() // the comparison below sees the trace's first round
+	}
+	// newGen builds the reading stream the multi-round sessions consume:
+	// a fresh replay of the trace, or the fixed synthetic readings above.
+	newGen := func() m2m.ReadingGenerator {
+		if traceRows != nil {
+			tr, err := m2m.NewTraceReadings(net.Len(), traceRows)
+			check(err)
+			return tr
+		}
+		return fixedReadings(readings)
+	}
 
 	fmt.Printf("network: %d nodes, %d edges; workload: %d destinations × %d sources (d=%.2f)\n",
 		net.Len(), net.Graph.NumEdges(), len(specs), *sources, *dispersion)
+	if traceRows != nil {
+		fmt.Printf("readings: replaying %s (%d stations × %d rounds, cycling)\n",
+			*traceFile, net.Len(), len(traceRows))
+	}
 
 	opt, err := m2m.Optimize(inst)
 	check(err)
 	fmt.Printf("optimal plan: %d units over %d edges, %d consistency repairs\n",
 		len(opt.Units()), len(inst.EdgeList), opt.Repairs)
 
-	if *trace {
+	if *traceUnits {
 		eng, err := sim.NewEngine(opt, net.Radio, sim.Options{MergeMessages: true})
 		check(err)
 		fmt.Println("\nexecution trace (topological unit order):")
@@ -190,10 +237,12 @@ func main() {
 	}
 
 	switch {
+	case *byzNode >= 0:
+		runByzantine(net, specs, kind, newGen(), *seed, *loss, *failNode, *failRound, *byzNode, *byzMode, *byzParam, *byzRound, *byzLen)
 	case *battery > 0:
-		runBattery(net, specs, kind, readings, *seed, *loss, *battery, *evacuate)
+		runBattery(net, specs, kind, newGen(), *seed, *loss, *battery, *evacuate)
 	case *partition > 0 || *revive > 0:
-		runChurn(net, specs, kind, readings, *seed, *loss, *failNode, *failRound, *revive, *partition, *partRound, *partLen)
+		runChurn(net, specs, kind, newGen(), *seed, *loss, *failNode, *failRound, *revive, *partition, *partRound, *partLen)
 	case *loss > 0 || *failNode >= 0 || *jitter > 0 || *dup > 0 || *deadline > 0:
 		runChaos(opt, net, readings, *seed, *loss, *failNode, *failRound, *jitter, *dup, *deadline)
 	}
@@ -202,7 +251,7 @@ func main() {
 // validateFlags rejects inconsistent flag combinations up front, before
 // any network or workload is built, so mistakes fail fast with a clear
 // message instead of surfacing as a confusing mid-run error.
-func validateFlags(loss float64, failNode, failRound int, jitter, dup, deadline float64, partition, partRound, partLen, revive int, battery float64, evacuate int, router string) {
+func validateFlags(loss float64, failNode, failRound int, jitter, dup, deadline float64, partition, partRound, partLen, revive int, battery float64, evacuate int, router string, byzNode int, byzMode string, byzRound, byzLen int) {
 	set := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	fail := func(format string, args ...interface{}) {
@@ -271,6 +320,26 @@ func validateFlags(loss float64, failNode, failRound int, jitter, dup, deadline 
 	}
 	if battery > 0 && (jitter > 0 || dup > 0 || deadline > 0 || partition > 0 || revive > 0) {
 		fail("-battery runs the synchronous battery session; drop -jitter/-dup/-deadline/-partition/-revive")
+	}
+	if (set["byz-mode"] || set["byz-round"] || set["byz-len"] || set["byz-param"]) && byzNode < 0 {
+		fail("-byz-mode/-byz-round/-byz-len/-byz-param without -byzantine")
+	}
+	if byzNode >= 0 {
+		if _, err := chaos.ParseByzMode(byzMode); err != nil {
+			fail("%v", err)
+		}
+		if byzRound < 0 {
+			fail("negative -byz-round %d", byzRound)
+		}
+		if byzLen < 0 {
+			fail("negative -byz-len %d", byzLen)
+		}
+		if jitter > 0 || dup > 0 || deadline > 0 {
+			fail("-byzantine runs the synchronous quarantine session; drop -jitter/-dup/-deadline")
+		}
+		if battery > 0 || partition > 0 || revive > 0 {
+			fail("-byzantine cannot combine with -battery/-partition/-revive")
+		}
 	}
 }
 
@@ -353,7 +422,7 @@ func (f fixedReadings) Next() map[m2m.NodeID]float64 { return f }
 // runChurn drives the self-healing session under churn — transient and
 // permanent crashes, revival, and a scheduled network partition — and
 // prints per-round delivery quality plus recovery telemetry.
-func runChurn(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, readings map[m2m.NodeID]float64, seed int64, loss float64, failNode, failRound, reviveRound, sideSize, partRound, partLen int) {
+func runChurn(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, gen m2m.ReadingGenerator, seed int64, loss float64, failNode, failRound, reviveRound, sideSize, partRound, partLen int) {
 	inj := m2m.NewFaultInjector(seed)
 	if loss > 0 {
 		inj.WithUniformLoss(loss)
@@ -389,7 +458,7 @@ func runChurn(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, readings 
 			len(side), side, partRound, partRound+partLen-1)
 	}
 	check(inj.Validate())
-	s, err := m2m.NewResilientSession(net, specs, kind, fixedReadings(readings), inj, m2m.ResilientConfig{})
+	s, err := m2m.NewResilientSession(net, specs, kind, gen, inj, m2m.ResilientConfig{})
 	check(err)
 	fmt.Printf("\nchurn session (seed %d, loss %.3f):\n", seed, loss)
 	fmt.Printf("%-6s %14s %6s %6s %7s %5s %5s %5s %6s  %s\n",
@@ -415,7 +484,7 @@ func runChurn(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, readings 
 // and (with -evac-horizon) the session evacuates traffic off relays
 // forecast to die. The run continues a few rounds past the first
 // exhaustion so its fallout is visible.
-func runBattery(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, readings map[m2m.NodeID]float64, seed int64, loss, capacityJ float64, horizon int) {
+func runBattery(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, gen m2m.ReadingGenerator, seed int64, loss, capacityJ float64, horizon int) {
 	bat, err := m2m.NewBattery(net.Len(), capacityJ)
 	check(err)
 	var faults m2m.FaultSchedule
@@ -425,7 +494,7 @@ func runBattery(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, reading
 		check(inj.Validate())
 		faults = inj
 	}
-	s, err := m2m.NewResilientSession(net, specs, kind, fixedReadings(readings), faults, m2m.ResilientConfig{
+	s, err := m2m.NewResilientSession(net, specs, kind, gen, faults, m2m.ResilientConfig{
 		Battery:               bat,
 		EvacuateHorizonRounds: horizon,
 	})
@@ -465,6 +534,90 @@ func runBattery(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, reading
 		fmt.Printf("first battery death: round %d (nodes %v)\n", first, bat.DepletedNodes())
 	} else {
 		fmt.Printf("no battery death within %d rounds\n", maxRounds)
+	}
+}
+
+// runByzantine drives the outlier-quarantine session against one lying
+// node: the injector corrupts the node's own reading at the
+// pre-aggregation boundary throughout its window, the session's residual
+// test flags it, excises its aggregates after a persistence window (with
+// an epoch-fenced incremental replan), and re-admits it once the window
+// ends and it shows a sustained clean run. Per-round suspect and excision
+// telemetry is reported alongside delivery quality.
+func runByzantine(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, gen m2m.ReadingGenerator, seed int64, loss float64, failNode, failRound, byzNode int, modeName string, param float64, byzRound, byzLen int) {
+	if byzNode >= net.Len() {
+		fmt.Fprintf(os.Stderr, "m2msim: -byzantine %d outside the %d-node network\n", byzNode, net.Len())
+		os.Exit(2)
+	}
+	monitored := false
+	for _, sp := range specs {
+		for _, src := range sp.Func.Sources() {
+			if src == m2m.NodeID(byzNode) {
+				monitored = true
+			}
+		}
+	}
+	if !monitored {
+		fmt.Printf("\nnote: node %d is not a source of any aggregate; its lies never enter a reading and the quarantine loop will not observe it\n", byzNode)
+	}
+	mode, err := m2m.ParseByzMode(modeName)
+	check(err)
+	inj := m2m.NewFaultInjector(seed)
+	if loss > 0 {
+		inj.WithUniformLoss(loss)
+	}
+	if failNode >= 0 {
+		if failNode >= net.Len() {
+			fmt.Fprintf(os.Stderr, "m2msim: -fail-node %d outside the %d-node network\n", failNode, net.Len())
+			os.Exit(2)
+		}
+		inj.Crash(m2m.NodeID(failNode), failRound)
+	}
+	// Default quarantine tuning: suspects excised after 3 consecutive
+	// bad rounds, re-admitted after 8 clean ones. Watch long enough to
+	// see the excision — and, for a finite window, the re-admission.
+	dur := byzLen
+	rounds := byzRound + 3 + 3
+	if byzLen == 0 {
+		dur = m2m.Forever
+	} else {
+		rounds = byzRound + byzLen + 8 + 2
+	}
+	inj.WithByzantine(m2m.NodeID(byzNode), mode, param, byzRound, dur)
+	check(inj.Validate())
+	s, err := m2m.NewResilientSession(net, specs, kind, gen, inj, m2m.ResilientConfig{Byzantine: &m2m.ByzantineConfig{}})
+	check(err)
+	window := "forever"
+	if byzLen > 0 {
+		window = fmt.Sprintf("for %d rounds", byzLen)
+	}
+	fmt.Printf("\nbyzantine session (seed %d, loss %.3f; node %d lies %s %.4g from round %d %s):\n",
+		seed, loss, byzNode, modeName, param, byzRound, window)
+	fmt.Printf("%-6s %14s %6s %6s %7s %8s %7s  %s\n",
+		"round", "energy", "fresh", "stale", "starved", "suspect", "excised", "events")
+	for r := 0; r < rounds; r++ {
+		step, err := s.Step()
+		check(err)
+		events := ""
+		for _, ev := range step.Excisions {
+			events += fmt.Sprintf(" excised %d (residual %.1f, replan %d B, epoch %d)", ev.Node, ev.Residual, ev.ReplanBytes, s.PlanEpoch())
+		}
+		for _, n := range step.Readmissions {
+			events += fmt.Sprintf(" readmitted %d (epoch %d)", n, s.PlanEpoch())
+		}
+		for _, ev := range step.Recoveries {
+			events += fmt.Sprintf(" condemned %d (epoch %d)", ev.Dead, s.PlanEpoch())
+		}
+		fmt.Printf("%-6d %11.2f mJ %6d %6d %7d %8d %7d %s\n",
+			r, step.EnergyJ*1e3, step.Fresh, step.Stale, step.Starved,
+			len(step.Suspects), len(s.ExcisedNodes()), events)
+	}
+	for _, ev := range s.Excisions() {
+		if ev.ReadmittedRound >= 0 {
+			fmt.Printf("excision: node %d at round %d, re-admitted at round %d\n", ev.Node, ev.Round, ev.ReadmittedRound)
+		} else {
+			fmt.Printf("excision: node %d at round %d, still quarantined\n", ev.Node, ev.Round)
+		}
 	}
 }
 

@@ -24,6 +24,9 @@ const (
 	KindMax
 	KindRange
 	KindCountAbove
+	KindQDigest
+	KindHLL
+	KindTrimmedMean
 )
 
 // KindOf returns the wire identifier of f's family.
@@ -43,9 +46,28 @@ func KindOf(f Func) (Kind, error) {
 		return KindRange, nil
 	case *CountAbove:
 		return KindCountAbove, nil
+	case *QDigest:
+		return KindQDigest, nil
+	case *HyperLogLog:
+		return KindHLL, nil
+	case *TrimmedMean:
+		return KindTrimmedMean, nil
 	default:
 		return 0, fmt.Errorf("agg: unknown function type %T", f)
 	}
+}
+
+// Configured reports whether k's record algebra depends on function-level
+// configuration (histogram domain and resolution, register count) that the
+// per-source parameter byte cannot carry. Table-driven execution
+// (PreAggByKind and friends) is unsupported for these kinds; nodes need
+// the full Func.
+func Configured(k Kind) bool {
+	switch k {
+	case KindQDigest, KindHLL, KindTrimmedMean:
+		return true
+	}
+	return false
 }
 
 // ParamOf returns the per-source parameter a node must store to
@@ -131,12 +153,21 @@ var kindTable = map[Kind]kindOps{
 	},
 }
 
+// kindErr distinguishes a genuinely unknown kind from a sketch kind whose
+// algebra needs function-specific configuration the table cannot hold.
+func kindErr(k Kind) error {
+	if Configured(k) {
+		return fmt.Errorf("agg: kind %d requires function-specific configuration; table-driven execution is unsupported", k)
+	}
+	return fmt.Errorf("agg: unknown kind %d", k)
+}
+
 // PreAggByKind pre-aggregates one reading using the family's per-source
 // parameter.
 func PreAggByKind(k Kind, param, v float64) (Record, error) {
 	ops, ok := kindTable[k]
 	if !ok {
-		return nil, fmt.Errorf("agg: unknown kind %d", k)
+		return nil, kindErr(k)
 	}
 	return ops.preAgg(param, v), nil
 }
@@ -145,7 +176,7 @@ func PreAggByKind(k Kind, param, v float64) (Record, error) {
 func MergeByKind(k Kind, a, b Record) (Record, error) {
 	ops, ok := kindTable[k]
 	if !ok {
-		return nil, fmt.Errorf("agg: unknown kind %d", k)
+		return nil, kindErr(k)
 	}
 	if len(a) != ops.slots || len(b) != ops.slots {
 		return nil, fmt.Errorf("agg: kind %d records need %d slots (got %d, %d)", k, ops.slots, len(a), len(b))
@@ -157,7 +188,7 @@ func MergeByKind(k Kind, a, b Record) (Record, error) {
 func EvalByKind(k Kind, r Record) (float64, error) {
 	ops, ok := kindTable[k]
 	if !ok {
-		return 0, fmt.Errorf("agg: unknown kind %d", k)
+		return 0, kindErr(k)
 	}
 	if len(r) != ops.slots {
 		return 0, fmt.Errorf("agg: kind %d record needs %d slots (got %d)", k, ops.slots, len(r))
@@ -169,7 +200,7 @@ func EvalByKind(k Kind, r Record) (float64, error) {
 func SlotsOf(k Kind) (int, error) {
 	ops, ok := kindTable[k]
 	if !ok {
-		return 0, fmt.Errorf("agg: unknown kind %d", k)
+		return 0, kindErr(k)
 	}
 	return ops.slots, nil
 }

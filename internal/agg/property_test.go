@@ -1,0 +1,198 @@
+package agg
+
+import (
+	"math"
+	"testing"
+
+	"m2m/internal/graph"
+)
+
+// The property harness exercises every function family in kinds.go through
+// the algebraic contract Func promises: Merge associativity and
+// commutativity, Eval∘PreAgg identity on a single source, RecordBytes
+// consistency with the record arity, and bit-identity of the in-place
+// extension. A kind constant without a harness entry fails the coverage
+// check, so new families cannot land untested.
+
+type kindCase struct {
+	kind Kind
+	make func(t *testing.T) Func
+	// want is the expected Eval(PreAgg(s0, v)) for the harness reading of
+	// the first source; tol is its tolerance (0 = exact).
+	want float64
+	tol  float64
+	// bytes is the expected on-wire record size.
+	bytes int
+}
+
+var propSources = []graph.NodeID{2, 5, 9}
+
+var propReadings = map[graph.NodeID]float64{2: 12.5, 5: 47.25, 9: 88}
+
+var propWeights = map[graph.NodeID]float64{2: 0.5, 5: 1.25, 9: 2}
+
+func propCases(t *testing.T) []kindCase {
+	bucketW := 100.0 / 64 // bits=6 over [0,100)
+	return []kindCase{
+		{kind: KindWeightedSum, make: func(*testing.T) Func { return NewWeightedSum(propWeights) },
+			want: 0.5 * 12.5, bytes: 4},
+		{kind: KindWeightedAverage, make: func(*testing.T) Func { return NewWeightedAverage(propWeights) },
+			want: 0.5 * 12.5, bytes: 4 + 2},
+		{kind: KindWeightedStdDev, make: func(*testing.T) Func { return NewWeightedStdDev(propWeights) },
+			want: 0, bytes: 4 + 4 + 2},
+		{kind: KindMin, make: func(*testing.T) Func { return NewMin(propSources) },
+			want: 12.5, bytes: 4},
+		{kind: KindMax, make: func(*testing.T) Func { return NewMax(propSources) },
+			want: 12.5, bytes: 4},
+		{kind: KindRange, make: func(*testing.T) Func { return NewRange(propSources) },
+			want: 0, bytes: 4 + 4},
+		{kind: KindCountAbove, make: func(*testing.T) Func { return NewCountAbove(propSources, 50) },
+			want: 0, bytes: 2},
+		{kind: KindQDigest, make: func(t *testing.T) Func {
+			f, err := NewQDigest(propSources, 6, 0, 100, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		}, want: 12.5, tol: bucketW / 2, bytes: 2 * 64},
+		{kind: KindHLL, make: func(t *testing.T) Func {
+			f, err := NewHyperLogLog(propSources, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		}, want: 1, tol: 0.1, bytes: 16},
+		{kind: KindTrimmedMean, make: func(t *testing.T) Func {
+			f, err := NewTrimmedMean(propSources, 6, 0, 100, 0.25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		}, want: 12.5, tol: bucketW / 2, bytes: 2 * 64},
+	}
+}
+
+// bitsEqual compares records bit for bit (the identity the executors'
+// byte-identity guarantees build on).
+func bitsEqual(a, b Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func approxEqual(a, b Record, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > tol*math.Max(1, math.Max(math.Abs(a[i]), math.Abs(b[i]))) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPropertyHarnessCoversEveryKind(t *testing.T) {
+	covered := make(map[Kind]bool)
+	for _, tc := range propCases(t) {
+		covered[tc.kind] = true
+	}
+	for k := KindWeightedSum; k <= KindTrimmedMean; k++ {
+		if !covered[k] {
+			t.Errorf("kind %d has no property-harness entry", k)
+		}
+	}
+}
+
+func TestFuncProperties(t *testing.T) {
+	for _, tc := range propCases(t) {
+		tc := tc
+		f := tc.make(t)
+		t.Run(f.Name(), func(t *testing.T) {
+			if k, err := KindOf(f); err != nil || k != tc.kind {
+				t.Fatalf("KindOf = %d, %v; want %d", k, err, tc.kind)
+			}
+
+			recs := make([]Record, len(propSources))
+			for i, s := range propSources {
+				recs[i] = f.PreAgg(s, propReadings[s])
+			}
+			a, b, c := recs[0], recs[1], recs[2]
+
+			// Commutativity is bit-exact: float addition, min, and max all
+			// commute exactly.
+			if !bitsEqual(f.Merge(a, b), f.Merge(b, a)) {
+				t.Errorf("Merge(a,b) != Merge(b,a)")
+			}
+
+			// Associativity up to rounding (exact for every builtin, but the
+			// contract only demands the algebraic identity).
+			left := f.Merge(f.Merge(a, b), c)
+			right := f.Merge(a, f.Merge(b, c))
+			if !approxEqual(left, right, 1e-12) {
+				t.Errorf("Merge not associative: %v vs %v", left, right)
+			}
+
+			// Merge must not mutate its operands.
+			if !bitsEqual(a, f.PreAgg(propSources[0], propReadings[propSources[0]])) {
+				t.Errorf("Merge mutated its first operand")
+			}
+
+			// Eval∘PreAgg identity for a single source.
+			got := f.Eval(a.Clone())
+			if tc.tol == 0 {
+				if got != tc.want {
+					t.Errorf("Eval(PreAgg(s0)) = %g, want %g", got, tc.want)
+				}
+			} else if math.Abs(got-tc.want) > tc.tol {
+				t.Errorf("Eval(PreAgg(s0)) = %g, want %g ± %g", got, tc.want, tc.tol)
+			}
+
+			// RecordBytes ≡ the actual record length: every slot costs at
+			// least a byte on the wire, the declared size matches the
+			// harness table, and PreAgg, Merge, and RecordLen agree on the
+			// arity.
+			if f.RecordBytes() != tc.bytes {
+				t.Errorf("RecordBytes = %d, want %d", f.RecordBytes(), tc.bytes)
+			}
+			if len(a) != len(left) {
+				t.Errorf("Merge changed record arity %d -> %d", len(a), len(left))
+			}
+			if f.RecordBytes() < len(a) {
+				t.Errorf("RecordBytes %d cannot encode %d slots", f.RecordBytes(), len(a))
+			}
+
+			// The in-place extension must be bit-identical to the
+			// allocating path.
+			ip, ok := f.(InPlace)
+			if !ok {
+				t.Fatalf("%s does not implement InPlace", f.Name())
+			}
+			if ip.RecordLen() != len(a) {
+				t.Errorf("RecordLen = %d, PreAgg yields %d slots", ip.RecordLen(), len(a))
+			}
+			dst := make(Record, ip.RecordLen())
+			ip.PreAggInto(dst, propSources[0], propReadings[propSources[0]])
+			if !bitsEqual(dst, a) {
+				t.Errorf("PreAggInto differs from PreAgg: %v vs %v", dst, a)
+			}
+			ip.MergeInto(dst, b)
+			if want := f.Merge(a, b); !bitsEqual(dst, want) {
+				t.Errorf("MergeInto differs from Merge: %v vs %v", dst, want)
+			}
+
+			// Sketches must advertise non-linearity so the suppression
+			// planner rejects them; the classical sum stays linear.
+			if Configured(tc.kind) && f.Linear() {
+				t.Errorf("%s claims linearity", f.Name())
+			}
+		})
+	}
+}

@@ -42,6 +42,12 @@ func Rebuild(f Func, keep func(graph.NodeID) bool) (Func, error) {
 		return NewRange(kept), nil
 	case *CountAbove:
 		return NewCountAbove(kept, v.Threshold), nil
+	case *QDigest:
+		return NewQDigest(kept, v.bits, v.lo, v.hi, v.quantile)
+	case *HyperLogLog:
+		return NewHyperLogLog(kept, v.pbits)
+	case *TrimmedMean:
+		return NewTrimmedMean(kept, v.bits, v.lo, v.hi, v.trim)
 	default:
 		return nil, fmt.Errorf("agg: cannot rebuild unknown function type %T", f)
 	}

@@ -92,6 +92,7 @@ type Injector struct {
 	revives    map[graph.NodeID]int
 	depletions map[graph.NodeID]int
 	partitions []Partition
+	byz        map[graph.NodeID][]byzWindow
 
 	baseMS    float64
 	jitterMS  float64
@@ -275,7 +276,7 @@ func (in *Injector) Validate() error {
 	if in.reordMS < 0 {
 		return fmt.Errorf("chaos: negative reorder delay %v", in.reordMS)
 	}
-	return nil
+	return in.validateByzantine()
 }
 
 // NodeDead reports whether n is down in round r: crashed (from its crash

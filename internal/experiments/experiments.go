@@ -169,6 +169,7 @@ func All() []Runner {
 		{ID: "async", Paper: "robustness extension (latency, duplication, deadlines)", Run: Async},
 		{ID: "churn", Paper: "robustness extension (partitions, revival, epoch fencing)", Run: Churn},
 		{ID: "battery", Paper: "robustness extension (energy depletion & evacuation replans)", Run: Battery},
+		{ID: "byzantine", Paper: "robustness extension (adversarial injection & robust sketches)", Run: Byzantine},
 	}
 }
 

@@ -114,6 +114,9 @@ func Run(inst *plan.Instance, p *plan.Plan, readings map[graph.NodeID]float64) (
 		if err != nil {
 			return nil, err
 		}
+		if agg.Configured(k) {
+			return nil, fmt.Errorf("motesim: %s for destination %d needs function-specific configuration the disseminated tables cannot carry", sp.Func.Name(), d)
+		}
 		meta[d] = destMeta{kind: k}
 	}
 

@@ -463,13 +463,18 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 
 	ls := e.getLossyState()
 	defer e.putLossyState(ls)
-	// The fence reads the original schedule: zeroAsync wrapping must not
-	// hide an Epochs implementation.
+	// The fence and the adversary read the original schedule: zeroAsync
+	// wrapping must not hide an Epochs or Adversary implementation.
 	e.fillEdgeFence(ls, faults)
+	adv := e.adversaryFor(faults)
 	contribs := make([][]contrib, c.nRec)
 	for i, slot := range c.srcSlot {
 		if !down(c.srcIDs[i]) {
-			ls.raw[slot] = readings[c.srcIDs[i]]
+			v := readings[c.srcIDs[i]]
+			if adv != nil {
+				v = adv.CorruptReading(round, c.srcIDs[i], v)
+			}
+			ls.raw[slot] = v
 			ls.rawSet[slot] = true
 		}
 	}

@@ -144,7 +144,7 @@ func TestBatteryConservation(t *testing.T) {
 		eng, bat := fresh(t)
 		prev := 0.0
 		for r := 0; r < rounds; r++ {
-			res, err := eng.runMapBased(readings, nil)
+			res, err := eng.runMapBased(0, readings, nil)
 			if err != nil {
 				t.Fatal(err)
 			}

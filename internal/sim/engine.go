@@ -58,6 +58,9 @@ type Engine struct {
 	battery  *Battery     // optional residual-energy ledger (Options.Battery)
 	batRound atomic.Int64 // rounds drained on the fault-free paths
 
+	adversary Adversary    // optional corruption schedule (Options.Adversary)
+	advRound  atomic.Int64 // fault-free rounds the adversary has seen
+
 	topo     *asyncTopo // message-level DAG for the async executor
 	topoOnce sync.Once  // guards the lazy build so concurrent rounds stay safe
 }
@@ -92,6 +95,12 @@ type Options struct {
 	// zero mid-round (see RunLossy/RunAsync). The ledger may be shared
 	// across engines (e.g. across a session's replans).
 	Battery *Battery
+	// Adversary, when non-nil, corrupts source readings at the
+	// pre-aggregation boundary of every executor (see the Adversary
+	// interface). The fault-free executors number rounds with an internal
+	// counter; the lossy and async executors use their explicit round
+	// argument and prefer an adversary asserted from their fault schedule.
+	Adversary Adversary
 }
 
 // NewEngine prepares an executor for p. It fails if the plan's wait-for
@@ -100,7 +109,7 @@ func NewEngine(p *plan.Plan, model radio.Model, opts Options) (*Engine, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{Plan: p, Radio: model, battery: opts.Battery}
+	e := &Engine{Plan: p, Radio: model, battery: opts.Battery, adversary: opts.Adversary}
 	e.units = p.Units()
 	provider := e.buildProviders()
 	if err := e.buildDeps(provider); err != nil {
@@ -286,7 +295,7 @@ func (e *Engine) Run(readings map[graph.NodeID]float64) (*RoundResult, error) {
 	st := e.getState()
 	defer e.putState(st)
 	res := &RoundResult{Values: make(map[graph.NodeID]float64, len(e.prog.finals))}
-	e.runCompiled(readings, st, res.Values, nil)
+	e.runCompiled(e.nextAdvRound(), readings, st, res.Values, nil)
 	e.fillResult(res)
 	e.drainStatic()
 	return res, nil
@@ -316,7 +325,7 @@ func (e *Engine) RunObserved(readings map[graph.NodeID]float64, obs Observer) (*
 	st := e.getState()
 	defer e.putState(st)
 	res := &RoundResult{Values: make(map[graph.NodeID]float64, len(e.prog.finals))}
-	e.runCompiled(readings, st, res.Values, obs)
+	e.runCompiled(e.nextAdvRound(), readings, st, res.Values, obs)
 	e.fillResult(res)
 	e.drainStatic()
 	return res, nil
@@ -325,12 +334,16 @@ func (e *Engine) RunObserved(readings map[graph.NodeID]float64, obs Observer) (*
 // runMapBased is the original map-keyed executor, kept as the reference
 // implementation the compiled program is differentially tested against:
 // compiled rounds must stay byte-identical to it, values and energy.
-func (e *Engine) runMapBased(readings map[graph.NodeID]float64, obs Observer) (*RoundResult, error) {
+func (e *Engine) runMapBased(round int, readings map[graph.NodeID]float64, obs Observer) (*RoundResult, error) {
 	rawVal := make(map[nodeSource]float64)
 	recVal := make(map[nodeDest]agg.Record)
 	inst := e.Plan.Inst
 	for _, s := range inst.Sources() {
-		rawVal[nodeSource{node: s, source: s}] = readings[s]
+		v := readings[s]
+		if e.adversary != nil {
+			v = e.adversary.CorruptReading(round, s, v)
+		}
+		rawVal[nodeSource{node: s, source: s}] = v
 	}
 
 	for _, idx := range e.order {

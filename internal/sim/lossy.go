@@ -225,9 +225,14 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 	st := e.getLossyState()
 	defer e.putLossyState(st)
 	e.fillEdgeFence(st, faults)
+	adv := e.adversaryFor(faults)
 	for i, slot := range c.srcSlot {
 		if !down(c.srcIDs[i]) {
-			st.raw[slot] = readings[c.srcIDs[i]]
+			v := readings[c.srcIDs[i]]
+			if adv != nil {
+				v = adv.CorruptReading(round, c.srcIDs[i], v)
+			}
+			st.raw[slot] = v
 			st.rawSet[slot] = true
 		}
 	}

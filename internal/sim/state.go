@@ -81,10 +81,19 @@ func assembleInto(fn agg.Func, ip agg.InPlace, inputs []unitInput, st *RoundStat
 // runCompiled executes one round of the compiled program over st, writing
 // each destination's aggregate into values. With a nil observer it is
 // allocation-free.
-func (e *Engine) runCompiled(readings map[graph.NodeID]float64, st *RoundState, values map[graph.NodeID]float64, obs Observer) {
+func (e *Engine) runCompiled(round int, readings map[graph.NodeID]float64, st *RoundState, values map[graph.NodeID]float64, obs Observer) {
 	c := e.prog
-	for i, slot := range c.srcSlot {
-		st.raw[slot] = readings[c.srcIDs[i]]
+	if adv := e.adversary; adv != nil {
+		// Corruption happens here, at the source's own fill slot, so every
+		// downstream forward and merge carries the poisoned value.
+		for i, slot := range c.srcSlot {
+			id := c.srcIDs[i]
+			st.raw[slot] = adv.CorruptReading(round, id, readings[id])
+		}
+	} else {
+		for i, slot := range c.srcSlot {
+			st.raw[slot] = readings[c.srcIDs[i]]
+		}
 	}
 	for _, idx := range e.order {
 		op := &c.ops[idx]
@@ -134,7 +143,7 @@ func (e *Engine) fillResult(res *RoundResult) {
 // keep a value across rounds must copy it. Steady-state RunInto performs
 // zero heap allocations.
 func (e *Engine) RunInto(readings map[graph.NodeID]float64, st *RoundState) (*RoundResult, error) {
-	e.runCompiled(readings, st, st.res.Values, nil)
+	e.runCompiled(e.nextAdvRound(), readings, st, st.res.Values, nil)
 	e.fillResult(&st.res)
 	e.drainStatic()
 	return &st.res, nil
@@ -156,6 +165,9 @@ func (e *Engine) RunConcurrent(batch []map[graph.NodeID]float64, workers int) ([
 	if len(batch) == 0 {
 		return results, nil
 	}
+	// The whole batch claims a contiguous block of adversary rounds, so
+	// batch[i] executes as round base+i however the workers interleave.
+	base := e.reserveAdvRounds(len(batch))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -170,7 +182,7 @@ func (e *Engine) RunConcurrent(batch []map[graph.NodeID]float64, workers int) ([
 					return
 				}
 				res := &RoundResult{Values: make(map[graph.NodeID]float64, len(e.prog.finals))}
-				e.runCompiled(batch[i], st, res.Values, nil)
+				e.runCompiled(base+i, batch[i], st, res.Values, nil)
 				e.fillResult(res)
 				e.drainStatic()
 				results[i] = res

@@ -4,16 +4,23 @@
 //
 // Grammar (line oriented; '#' starts a comment):
 //
-//	<dest> = <kind>(<source>[:<weight>], ...) [@ <threshold>]
+//	<dest> = <kind>(<source>[:<weight>], ...) [@ <config>]
 //
-// Kinds: wsum, wavg, wstddev, min, max, range, countabove. Weights
-// default to 1 and are only meaningful for the weighted kinds; the
-// threshold suffix is required for countabove and rejected otherwise.
+// Kinds: wsum, wavg, wstddev, min, max, range, countabove, qdigest, hll,
+// trimmedmean. Weights default to 1 and are only meaningful for the
+// weighted kinds. The '@' suffix carries per-kind configuration: the
+// threshold (a bare float, required) for countabove, and optional
+// key=value pairs for the sketch kinds — bits, lo, hi plus q for qdigest
+// (defaults bits=6 lo=0 hi=100 q=0.5), bits for hll (default 6), and
+// bits, lo, hi, trim for trimmedmean (default trim=0.25). Other kinds
+// reject a suffix.
 //
 //	# sap flux control
 //	5  = wsum(1:0.5, 2:0.3, 7)
 //	9  = wavg(3, 4:2)
 //	14 = countabove(2, 5, 8) @ 0.7
+//	17 = qdigest(2, 5, 8, 11) @ bits=5 lo=10 hi=40 q=0.5
+//	21 = trimmedmean(2, 5, 8, 11) @ trim=0.3
 package specfile
 
 import (
@@ -75,14 +82,10 @@ func parseLine(line string) (agg.Spec, error) {
 	}
 	rest := strings.TrimSpace(line[eq+1:])
 
-	// Optional threshold suffix.
-	threshold, hasThreshold := 0.0, false
+	// Optional per-kind configuration suffix.
+	suffix, hasSuffix := "", false
 	if at := strings.LastIndexByte(rest, '@'); at >= 0 {
-		t, err := strconv.ParseFloat(strings.TrimSpace(rest[at+1:]), 64)
-		if err != nil {
-			return zero, fmt.Errorf("threshold: %w", err)
-		}
-		threshold, hasThreshold = t, true
+		suffix, hasSuffix = strings.TrimSpace(rest[at+1:]), true
 		rest = strings.TrimSpace(rest[:at])
 	}
 
@@ -123,10 +126,15 @@ func parseLine(line string) (agg.Spec, error) {
 		return zero, fmt.Errorf("no sources")
 	}
 
-	if hasThreshold && kind != "countabove" {
-		return zero, fmt.Errorf("threshold only valid for countabove")
+	switch kind {
+	case "countabove", "qdigest", "hll", "trimmedmean":
+	default:
+		if hasSuffix {
+			return zero, fmt.Errorf("'@' config only valid for countabove and the sketch kinds")
+		}
 	}
 	var f agg.Func
+	var err2 error
 	switch kind {
 	case "wsum":
 		f = agg.NewWeightedSum(weights)
@@ -141,14 +149,69 @@ func parseLine(line string) (agg.Spec, error) {
 	case "range":
 		f = agg.NewRange(sources)
 	case "countabove":
-		if !hasThreshold {
+		if !hasSuffix {
 			return zero, fmt.Errorf("countabove requires '@ threshold'")
 		}
+		threshold, err := strconv.ParseFloat(suffix, 64)
+		if err != nil {
+			return zero, fmt.Errorf("threshold: %w", err)
+		}
 		f = agg.NewCountAbove(sources, threshold)
+	case "qdigest":
+		cfg, err := parseSketchConfig(suffix, "bits", "lo", "hi", "q")
+		if err != nil {
+			return zero, err
+		}
+		f, err2 = agg.NewQDigest(sources, int(cfg["bits"]), cfg["lo"], cfg["hi"], cfg["q"])
+	case "hll":
+		cfg, err := parseSketchConfig(suffix, "bits")
+		if err != nil {
+			return zero, err
+		}
+		f, err2 = agg.NewHyperLogLog(sources, int(cfg["bits"]))
+	case "trimmedmean":
+		cfg, err := parseSketchConfig(suffix, "bits", "lo", "hi", "trim")
+		if err != nil {
+			return zero, err
+		}
+		f, err2 = agg.NewTrimmedMean(sources, int(cfg["bits"]), cfg["lo"], cfg["hi"], cfg["trim"])
 	default:
 		return zero, fmt.Errorf("unknown kind %q", kind)
 	}
+	if err2 != nil {
+		return zero, err2
+	}
 	return agg.Spec{Dest: dest, Func: f}, nil
+}
+
+// sketchDefaults are the config values a sketch line may omit.
+var sketchDefaults = map[string]float64{"bits": 6, "lo": 0, "hi": 100, "q": 0.5, "trim": 0.25}
+
+// parseSketchConfig parses a space-separated key=value suffix, allowing
+// only the listed keys and filling absent ones from sketchDefaults.
+func parseSketchConfig(suffix string, keys ...string) (map[string]float64, error) {
+	allowed := make(map[string]bool, len(keys))
+	cfg := make(map[string]float64, len(keys))
+	for _, k := range keys {
+		allowed[k] = true
+		cfg[k] = sketchDefaults[k]
+	}
+	for _, tok := range strings.Fields(suffix) {
+		eq := strings.IndexByte(tok, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("sketch config %q is not key=value", tok)
+		}
+		key := strings.ToLower(strings.TrimSpace(tok[:eq]))
+		if !allowed[key] {
+			return nil, fmt.Errorf("unknown sketch config key %q", key)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok[eq+1:]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("sketch config %q: %w", tok, err)
+		}
+		cfg[key] = v
+	}
+	return cfg, nil
 }
 
 func parseNode(s string) (graph.NodeID, error) {
@@ -189,8 +252,17 @@ func Format(w io.Writer, specs []agg.Spec) error {
 			}
 		}
 		line := fmt.Sprintf("%d = %s(%s)", sp.Dest, sp.Func.Name(), strings.Join(args, ", "))
-		if ca, ok := sp.Func.(*agg.CountAbove); ok {
-			line += fmt.Sprintf(" @ %s", trimFloat(ca.Threshold))
+		switch f := sp.Func.(type) {
+		case *agg.CountAbove:
+			line += fmt.Sprintf(" @ %s", trimFloat(f.Threshold))
+		case *agg.QDigest:
+			lo, hi := f.Domain()
+			line += fmt.Sprintf(" @ bits=%d lo=%s hi=%s q=%s", f.Bits(), trimFloat(lo), trimFloat(hi), trimFloat(f.Quantile()))
+		case *agg.HyperLogLog:
+			line += fmt.Sprintf(" @ bits=%d", f.RegisterBits())
+		case *agg.TrimmedMean:
+			lo, hi := f.Domain()
+			line += fmt.Sprintf(" @ bits=%d lo=%s hi=%s trim=%s", f.Bits(), trimFloat(lo), trimFloat(hi), trimFloat(f.Trim()))
 		}
 		if _, err := fmt.Fprintln(w, line); err != nil {
 			return err

@@ -18,6 +18,9 @@ const sample = `
 20 = range(0, 6)
 21 = max(0, 6)
 22 = wstddev(1:2, 3)
+23 = qdigest(1, 2, 3) @ bits=5 lo=0 hi=10 q=0.75
+24 = hll(1, 2, 3) @ bits=4
+25 = trimmedmean(1, 2, 3, 4) @ trim=0.3
 `
 
 func TestParseSample(t *testing.T) {
@@ -25,7 +28,7 @@ func TestParseSample(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(specs) != 7 {
+	if len(specs) != 10 {
 		t.Fatalf("parsed %d specs", len(specs))
 	}
 	byDest := make(map[graph.NodeID]agg.Spec)
@@ -46,6 +49,17 @@ func TestParseSample(t *testing.T) {
 	if got := len(byDest[20].Func.Sources()); got != 2 {
 		t.Errorf("range sources = %d", got)
 	}
+	qd := byDest[23].Func.(*agg.QDigest)
+	if lo, hi := qd.Domain(); qd.Bits() != 5 || lo != 0 || hi != 10 || qd.Quantile() != 0.75 {
+		t.Errorf("qdigest config: bits=%d domain=[%g,%g) q=%g", qd.Bits(), lo, hi, qd.Quantile())
+	}
+	if h := byDest[24].Func.(*agg.HyperLogLog); h.RegisterBits() != 4 {
+		t.Errorf("hll bits = %d", h.RegisterBits())
+	}
+	tm := byDest[25].Func.(*agg.TrimmedMean)
+	if lo, hi := tm.Domain(); tm.Trim() != 0.3 || tm.Bits() != 6 || lo != 0 || hi != 100 {
+		t.Errorf("trimmedmean defaults not applied: bits=%d domain=[%g,%g) trim=%g", tm.Bits(), lo, hi, tm.Trim())
+	}
 }
 
 func TestParseErrors(t *testing.T) {
@@ -60,6 +74,10 @@ func TestParseErrors(t *testing.T) {
 		"5 = min(1) @ 2",          // threshold on non-countabove
 		"5 = countabove(1)",       // missing threshold
 		"5 = countabove(1) @ x",   // bad threshold
+		"5 = qdigest(1) @ spam=2", // unknown sketch config key
+		"5 = qdigest(1) @ bits=0", // out-of-range resolution
+		"5 = hll(1) @ bits",       // malformed key=value
+		"5 = hll(1) @ q=0.5",      // q is not an hll key
 		"5 = wsum(1)\n5 = min(2)", // repeated destination
 		"5 = wsum(-2)",            // negative node
 		"5 = wsum 1",              // missing parens

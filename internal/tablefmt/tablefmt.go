@@ -3,6 +3,7 @@
 package tablefmt
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -132,6 +133,29 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// WriteJSON renders the table as one machine-readable JSON object:
+// title, axis label, column names, and a row array of {x, y} pairs with y
+// in column order. Checked-in experiment artifacts (BENCH_*.json) use
+// this format.
+func (t *Table) WriteJSON(w io.Writer) error {
+	type jsonRow struct {
+		X float64   `json:"x"`
+		Y []float64 `json:"y"`
+	}
+	doc := struct {
+		Title   string    `json:"title"`
+		XLabel  string    `json:"x_label"`
+		Columns []string  `json:"columns"`
+		Rows    []jsonRow `json:"rows"`
+	}{Title: t.Title, XLabel: t.XLabel, Columns: t.Columns}
+	for _, r := range t.rows {
+		doc.Rows = append(doc.Rows, jsonRow{X: r.x, Y: append([]float64(nil), r.y...)})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func formatNum(x float64) string {

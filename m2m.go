@@ -112,6 +112,9 @@ var (
 	NewMax             = agg.NewMax
 	NewRange           = agg.NewRange
 	NewCountAbove      = agg.NewCountAbove
+	NewQDigest         = agg.NewQDigest
+	NewHyperLogLog     = agg.NewHyperLogLog
+	NewTrimmedMean     = agg.NewTrimmedMean
 )
 
 // RouterKind selects the routing strategy for an instance.

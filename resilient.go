@@ -149,6 +149,14 @@ type ResilientConfig struct {
 	// incident to evacuating nodes when routes are rebuilt, steering
 	// detours away from dying relays (default 8, minimum 1).
 	EvacuatePenalty float64
+	// Byzantine, when non-nil, arms the outlier-quarantine loop: after
+	// every round the base station residual-tests each monitored source's
+	// reported reading against the robust (median/MAD) population
+	// estimate, excises sustained outliers from the workload via an
+	// incremental replan, and re-admits them after sustained clean
+	// behavior. Lies reach the session only through a fault schedule that
+	// implements Adversary (a FaultInjector with WithByzantine windows).
+	Byzantine *ByzantineConfig
 }
 
 func (c ResilientConfig) withDefaults() ResilientConfig {
@@ -220,6 +228,15 @@ type ResilientStep struct {
 	// nodes after the round (battery sessions only; zero otherwise, and
 	// zero once every node is exhausted).
 	MinResidualJ float64
+	// Suspects lists the monitored sources whose reported reading fell
+	// outside the robust residual gate this round (byzantine sessions
+	// only), in monitored order.
+	Suspects []NodeID
+	// Excisions lists the quarantine excisions performed this round.
+	Excisions []*ExcisionEvent
+	// Readmissions lists excised sources re-admitted this round after
+	// sustained clean behavior.
+	Readmissions []NodeID
 }
 
 // ResilientSession runs a workload continuously under a fault schedule
@@ -298,6 +315,19 @@ type ResilientSession struct {
 	burn      map[NodeID]float64
 	evacuated map[NodeID]bool
 	prices    map[NodeID]int64
+
+	// Byzantine-quarantine state (nil/empty unless cfg.Byzantine is set):
+	// the monitored source set (union of the pristine workload's sources,
+	// ascending), per-node consecutive suspect and clean counters, the
+	// currently excised set, and the excision event log (openExcision
+	// indexes the events still awaiting re-admission).
+	byz          *ByzantineConfig
+	monitored    []NodeID
+	suspectRuns  map[NodeID]int
+	cleanRuns    map[NodeID]int
+	excised      map[NodeID]bool
+	excisions    []*ExcisionEvent
+	openExcision map[NodeID]*ExcisionEvent
 }
 
 // NewResilientSession optimizes the workload and prepares continuous
@@ -375,6 +405,27 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 		s.burn = make(map[NodeID]float64)
 		s.evacuated = make(map[NodeID]bool)
 	}
+	if cfg.Byzantine != nil {
+		bz, err := cfg.Byzantine.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		s.byz = &bz
+		srcSet := make(map[NodeID]bool)
+		for _, sp := range specs {
+			for _, src := range sp.Func.Sources() {
+				srcSet[src] = true
+			}
+		}
+		for n := range srcSet {
+			s.monitored = append(s.monitored, n)
+		}
+		sort.Slice(s.monitored, func(i, j int) bool { return s.monitored[i] < s.monitored[j] })
+		s.suspectRuns = make(map[NodeID]int)
+		s.cleanRuns = make(map[NodeID]int)
+		s.excised = make(map[NodeID]bool)
+		s.openExcision = make(map[NodeID]*ExcisionEvent)
+	}
 	// A fault-free session gets no fence wrapper: the executors then skip
 	// the epoch branch entirely and stay byte-identical to Execute. A
 	// battery session always gets one — exhaustion can strike any round,
@@ -403,6 +454,17 @@ func (f epochFence) Deliver(round int, e routing.Edge, attempt int) bool {
 	return f.s.faults.Deliver(round, e, attempt)
 }
 func (f epochFence) PlanEpoch() uint32 { return f.s.planEpoch }
+
+// CorruptReading forwards the executors' pre-aggregation corruption hook
+// to the wrapped schedule when it lies (implements sim.Adversary);
+// otherwise it is the identity, so honest sessions stay byte-identical.
+func (f epochFence) CorruptReading(round int, n NodeID, v float64) float64 {
+	if adv, ok := f.s.faults.(sim.Adversary); ok {
+		return adv.CorruptReading(round, n, v)
+	}
+	return v
+}
+
 func (f epochFence) NodeEpoch(n NodeID) uint32 {
 	if e, ok := f.s.nodeEpoch[n]; ok {
 		return e
@@ -642,6 +704,16 @@ func (s *ResilientSession) Step() (*ResilientStep, error) {
 		step.Recoveries = append(step.Recoveries, ev)
 	}
 
+	// Byzantine audit: residual-test this round's reported readings
+	// against the robust population estimate, excise sustained outliers,
+	// re-admit the reformed — before dissemination so excision diffs go
+	// out this round.
+	if s.byz != nil {
+		if err := s.observeByzantine(cur, step); err != nil {
+			return nil, err
+		}
+	}
+
 	// Battery observation: burn rates from the ledger, low-battery beacons
 	// toward the base, time-to-death forecasts, and proactive evacuation
 	// replans — before dissemination so evacuation diffs go out this round.
@@ -795,13 +867,9 @@ func (s *ResilientSession) rejoin(n NodeID) error {
 		return err
 	}
 	delete(s.dead, n)
-	specs := append([]Spec(nil), s.origSpecs...)
-	for _, d := range s.DeadNodes() {
-		pruned, _, err := failure.PruneSpecs(specs, d)
-		if err != nil {
-			return restore(fmt.Errorf("m2m: cannot rejoin node %d: %w", n, err))
-		}
-		specs = pruned
+	specs, err := s.rebuildSpecs()
+	if err != nil {
+		return restore(fmt.Errorf("m2m: cannot rejoin node %d: %w", n, err))
 	}
 	net2 := &Network{Layout: s.net.Layout, Graph: g2, Radio: s.net.Radio}
 	newInst, err := s.newInstance(g2, specs)

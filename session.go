@@ -38,6 +38,12 @@ var (
 	// NewPulseReadings changes each node with a fixed probability per
 	// round (the Figure 7 change model).
 	NewPulseReadings = readings.NewPulse
+	// NewTraceReadings replays a recorded station-trace matrix (one row
+	// per round, one column per node), cycling when it runs out.
+	NewTraceReadings = readings.NewTrace
+	// ParseTrace reads a station-trace text file into the matrix
+	// NewTraceReadings replays.
+	ParseTrace = readings.ParseTrace
 )
 
 // Session runs a plan continuously: a bootstrap round computes every
