@@ -102,6 +102,10 @@ func BenchmarkBattery(b *testing.B) { benchExperiment(b, "battery") }
 // BenchmarkByzantine regenerates the adversarial accuracy-vs-bytes table.
 func BenchmarkByzantine(b *testing.B) { benchExperiment(b, "byzantine") }
 
+// BenchmarkCollision regenerates the contention coverage/energy table
+// (unscheduled vs backoff vs TDMA vs TDMA over a minimum-degree tree).
+func BenchmarkCollision(b *testing.B) { benchExperiment(b, "collision") }
+
 // --- Micro-benchmarks ---
 
 // evalSetup builds the paper's 68-node evaluation network and a workload

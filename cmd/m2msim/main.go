@@ -15,6 +15,9 @@
 //	m2msim -loss 0.05 -fail-node 12 -fail-round 2 -revive 8
 //	m2msim -byzantine 7 -byz-mode amplify -byz-param 50
 //	m2msim -byzantine 7 -byz-round 2 -byz-len 6 -trace stations.csv
+//	m2msim -collide -capture 0.1             # contention session, adaptive TDMA switch
+//	m2msim -collide -tdma -min-degree        # schedule eagerly over the low fan-in tree
+//	m2msim -collide -loss 0.05 -fail-node 12 -fail-round 4
 //
 // With -loss and/or -fail-node the optimal plan is additionally executed
 // on the lossy engine (stop-and-wait, 3 retries) under a seeded fault
@@ -44,6 +47,16 @@
 // excises its aggregates after a persistence window, replans without it,
 // and re-admits it once the window ends and it behaves. Per-round suspect
 // and excision telemetry is reported.
+//
+// -collide switches those rounds to the contention-adaptive session on
+// the slot-contention channel: concurrent transmissions that interfere at
+// a receiver destroy each other (-capture is the chance a colliding frame
+// survives anyway). The session starts unscheduled, watches its smoothed
+// collision rate, and switches to TDMA-scheduled transmission once the
+// rate crosses its threshold — or at the first collision, with -tdma.
+// -min-degree routes inside the minimum-degree spanning tree instead of
+// -router, bounding receiver fan-in and with it per-receiver collision
+// pressure. Per-round collision telemetry is reported.
 //
 // -trace replays a recorded station-trace file (one text row per round,
 // one reading per node, comma- or whitespace-separated; '#' comments and
@@ -96,9 +109,13 @@ func main() {
 		byzParam   = flag.Float64("byz-param", 1000, "misbehavior parameter: stuck value, per-round offset, gain, or spray amplitude")
 		byzRound   = flag.Int("byz-round", 0, "round at which -byzantine starts lying")
 		byzLen     = flag.Int("byz-len", 0, "rounds the lying lasts (0 = forever)")
+		collide    = flag.Bool("collide", false, "run rounds on the slot-contention channel (selects the contention session)")
+		capture    = flag.Float64("capture", 0, "capture probability in [0,1): chance a colliding frame survives anyway (requires -collide)")
+		tdma       = flag.Bool("tdma", false, "switch to TDMA-scheduled transmission at the first observed collision instead of the default contention threshold (requires -collide)")
+		minDegree  = flag.Bool("min-degree", false, "route inside the minimum-degree spanning tree (low fan-in; replaces -router)")
 	)
 	flag.Parse()
-	validateFlags(*loss, *failNode, *failRound, *jitter, *dup, *deadline, *partition, *partRound, *partLen, *revive, *battery, *evacuate, *router, *byzNode, *byzMode, *byzRound, *byzLen)
+	validateFlags(*loss, *failNode, *failRound, *jitter, *dup, *deadline, *partition, *partRound, *partLen, *revive, *battery, *evacuate, *router, *byzNode, *byzMode, *byzRound, *byzLen, *collide, *capture, *minDegree)
 
 	var net *m2m.Network
 	if *nodes > 0 {
@@ -115,6 +132,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "m2msim: unknown router %q\n", *router)
 		os.Exit(2)
+	}
+	if *minDegree {
+		kind = m2m.RouterMinDegree
 	}
 
 	var specs []m2m.Spec
@@ -237,6 +257,8 @@ func main() {
 	}
 
 	switch {
+	case *collide:
+		runContention(net, specs, kind, newGen(), *seed, *loss, *capture, *failNode, *failRound, *tdma)
 	case *byzNode >= 0:
 		runByzantine(net, specs, kind, newGen(), *seed, *loss, *failNode, *failRound, *byzNode, *byzMode, *byzParam, *byzRound, *byzLen)
 	case *battery > 0:
@@ -251,7 +273,7 @@ func main() {
 // validateFlags rejects inconsistent flag combinations up front, before
 // any network or workload is built, so mistakes fail fast with a clear
 // message instead of surfacing as a confusing mid-run error.
-func validateFlags(loss float64, failNode, failRound int, jitter, dup, deadline float64, partition, partRound, partLen, revive int, battery float64, evacuate int, router string, byzNode int, byzMode string, byzRound, byzLen int) {
+func validateFlags(loss float64, failNode, failRound int, jitter, dup, deadline float64, partition, partRound, partLen, revive int, battery float64, evacuate int, router string, byzNode int, byzMode string, byzRound, byzLen int, collide bool, capture float64, minDegree bool) {
 	set := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	fail := func(format string, args ...interface{}) {
@@ -320,6 +342,23 @@ func validateFlags(loss float64, failNode, failRound int, jitter, dup, deadline 
 	}
 	if battery > 0 && (jitter > 0 || dup > 0 || deadline > 0 || partition > 0 || revive > 0) {
 		fail("-battery runs the synchronous battery session; drop -jitter/-dup/-deadline/-partition/-revive")
+	}
+	if (set["capture"] || set["tdma"]) && !collide {
+		fail("-capture/-tdma without -collide")
+	}
+	if capture < 0 || capture >= 1 {
+		fail("-capture %v outside [0,1)", capture)
+	}
+	if minDegree && set["router"] {
+		fail("-min-degree replaces -router; drop one")
+	}
+	if collide {
+		if jitter > 0 || dup > 0 || deadline > 0 {
+			fail("-collide runs the synchronous contention session; drop -jitter/-dup/-deadline")
+		}
+		if battery > 0 || partition > 0 || revive > 0 || byzNode >= 0 {
+			fail("-collide cannot combine with -battery/-partition/-revive/-byzantine")
+		}
 	}
 	if (set["byz-mode"] || set["byz-round"] || set["byz-len"] || set["byz-param"]) && byzNode < 0 {
 		fail("-byz-mode/-byz-round/-byz-len/-byz-param without -byzantine")
@@ -410,6 +449,62 @@ func runChaos(opt *m2m.Plan, net *m2m.Network, readings map[m2m.NodeID]float64, 
 		fresh, stale, starved := countReports(res.Reports)
 		fmt.Printf("%-6d %11.2f mJ %8d %8d %8d %7d %7d %7d\n",
 			r, res.EnergyJ*1e3, res.Transmissions, res.Retries, res.Dropped, fresh, stale, starved)
+	}
+}
+
+// runContention drives the contention-adaptive session on the
+// slot-contention channel: rounds start unscheduled, the session watches
+// its smoothed collision rate, and once the rate crosses the switch
+// threshold (or at the first collision, with -tdma) it floods a TDMA
+// frame and runs scheduled from then on. Per-round collision telemetry
+// is printed alongside delivery quality.
+func runContention(net *m2m.Network, specs []m2m.Spec, kind m2m.RouterKind, gen m2m.ReadingGenerator, seed int64, loss, capture float64, failNode, failRound int, eager bool) {
+	inj := m2m.NewFaultInjector(seed).WithCollisions(capture)
+	if loss > 0 {
+		inj.WithUniformLoss(loss)
+	}
+	rounds := 8
+	if failNode >= 0 {
+		if failNode >= net.Len() {
+			fmt.Fprintf(os.Stderr, "m2msim: -fail-node %d outside the %d-node network\n", failNode, net.Len())
+			os.Exit(2)
+		}
+		inj.Crash(m2m.NodeID(failNode), failRound)
+		if failRound+4 > rounds {
+			rounds = failRound + 4
+		}
+	}
+	check(inj.Validate())
+	cfg := m2m.ResilientConfig{}
+	if eager {
+		// Any nonzero smoothed collision rate crosses this, so the session
+		// schedules right after the first contended round.
+		cfg.TDMASwitchThreshold = 1e-9
+	}
+	s, err := m2m.NewResilientSession(net, specs, kind, gen, inj, cfg)
+	check(err)
+	fmt.Printf("\ncontention session (seed %d, loss %.3f, capture %.2f):\n", seed, loss, capture)
+	fmt.Printf("%-6s %14s %6s %6s %7s %6s %6s %-8s %s\n",
+		"round", "energy", "fresh", "stale", "starved", "coll", "rate", "mode", "events")
+	scheduled := false
+	for r := 0; r < rounds; r++ {
+		step, err := s.Step()
+		check(err)
+		events := ""
+		if step.TDMA && !scheduled {
+			scheduled = true
+			events += fmt.Sprintf(" tdma frame installed (epoch %d)", s.PlanEpoch())
+		}
+		for _, ev := range step.Recoveries {
+			events += fmt.Sprintf(" condemned %d (epoch %d)", ev.Dead, s.PlanEpoch())
+		}
+		mode := "unsched"
+		if step.TDMA {
+			mode = "tdma"
+		}
+		fmt.Printf("%-6d %11.2f mJ %6d %6d %7d %6d %6.2f %-8s %s\n",
+			r, step.EnergyJ*1e3, step.Fresh, step.Stale, step.Starved,
+			step.Collisions, step.CollisionRate, mode, events)
 	}
 }
 

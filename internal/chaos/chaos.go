@@ -99,6 +99,11 @@ type Injector struct {
 	dupProb   float64
 	reordProb float64
 	reordMS   float64
+
+	collide      bool
+	captureProb  float64
+	collideScope map[graph.NodeID]bool
+	collideN     int // network size declared by WithCollisionReceivers
 }
 
 // New returns an empty injector whose stochastic draws derive from seed.
@@ -275,6 +280,9 @@ func (in *Injector) Validate() error {
 	}
 	if in.reordMS < 0 {
 		return fmt.Errorf("chaos: negative reorder delay %v", in.reordMS)
+	}
+	if err := in.validateCollisions(); err != nil {
+		return err
 	}
 	return in.validateByzantine()
 }

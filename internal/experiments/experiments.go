@@ -170,6 +170,7 @@ func All() []Runner {
 		{ID: "churn", Paper: "robustness extension (partitions, revival, epoch fencing)", Run: Churn},
 		{ID: "battery", Paper: "robustness extension (energy depletion & evacuation replans)", Run: Battery},
 		{ID: "byzantine", Paper: "robustness extension (adversarial injection & robust sketches)", Run: Byzantine},
+		{ID: "collision", Paper: "robustness extension (contention, TDMA, low-degree trees)", Run: Collision},
 	}
 }
 

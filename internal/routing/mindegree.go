@@ -1,0 +1,202 @@
+package routing
+
+import (
+	"fmt"
+
+	"m2m/internal/graph"
+)
+
+// MinDegreeTree routes like SharedTree — every pair's path lives inside
+// one global spanning tree, so both of the paper's routing restrictions
+// hold by construction — but the global tree is chosen to minimize the
+// maximum node degree rather than path lengths. Under a contended radio
+// a node's receive fan-in in the message graph is bounded by its tree
+// degree, so low-degree trees bound per-receiver contention (Chang &
+// Guan's minimum-degree spanning tree connection) — paid for in path
+// stretch, which can deepen precedence chains and with them the TDMA
+// frame. The builder is a deterministic Fürer–Raghavachari-style
+// local search: starting from the BFS tree at the network center, any
+// non-tree edge (u,v) whose tree cycle contains a node w with
+// deg(w) >= max(deg(u), deg(v)) + 2 trades one of w's cycle edges for
+// (u,v). Each swap strictly shrinks the high end of the degree sequence,
+// so the search terminates; the result is within one of the locally
+// optimal maximum degree.
+type MinDegreeTree struct {
+	SharedTree
+	maxDeg int
+}
+
+// NewMinDegreeTree builds the low-degree global routing tree for net,
+// rooted at the node with minimum eccentricity (smallest ID on ties).
+func NewMinDegreeTree(net *graph.Undirected) (*MinDegreeTree, error) {
+	if net.Len() == 0 {
+		return nil, fmt.Errorf("routing: empty network")
+	}
+	if !net.Connected() {
+		return nil, fmt.Errorf("routing: network not connected")
+	}
+	n := net.Len()
+	center := graph.NodeID(0)
+	bestEcc := -1
+	for u := 0; u < n; u++ {
+		pt := net.BFS(graph.NodeID(u))
+		ecc := 0
+		for v := 0; v < n; v++ {
+			if h := pt.Hops(graph.NodeID(v)); h > ecc {
+				ecc = h
+			}
+		}
+		if bestEcc == -1 || ecc < bestEcc {
+			bestEcc, center = ecc, graph.NodeID(u)
+		}
+	}
+
+	// Tree as a symmetric adjacency-set view, seeded from the BFS tree.
+	inTree := make([]map[graph.NodeID]bool, n)
+	deg := make([]int, n)
+	for i := range inTree {
+		inTree[i] = make(map[graph.NodeID]bool)
+	}
+	addT := func(a, b graph.NodeID) {
+		inTree[a][b] = true
+		inTree[b][a] = true
+		deg[a]++
+		deg[b]++
+	}
+	delT := func(a, b graph.NodeID) {
+		delete(inTree[a], b)
+		delete(inTree[b], a)
+		deg[a]--
+		deg[b]--
+	}
+	bfs := net.BFS(center)
+	for u := 0; u < n; u++ {
+		if graph.NodeID(u) != center {
+			addT(graph.NodeID(u), bfs.Parent[u])
+		}
+	}
+
+	// treePath walks the current tree from a to b (both inclusive) by BFS.
+	treePath := func(a, b graph.NodeID) []graph.NodeID {
+		par := make([]graph.NodeID, n)
+		for i := range par {
+			par[i] = -1
+		}
+		par[a] = a
+		for q := []graph.NodeID{a}; len(q) > 0; {
+			x := q[0]
+			q = q[1:]
+			if x == b {
+				break
+			}
+			for y := range inTree[x] {
+				if par[y] == -1 {
+					par[y] = x
+					q = append(q, y)
+				}
+			}
+		}
+		var rev []graph.NodeID
+		for v := b; ; v = par[v] {
+			rev = append(rev, v)
+			if v == a {
+				break
+			}
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		return rev
+	}
+
+	edges := net.Edges()
+	for improved := true; improved; {
+		improved = false
+		for _, e := range edges {
+			u, v := e.U, e.V
+			if inTree[u][v] {
+				continue
+			}
+			path := treePath(u, v)
+			// The cycle is path plus the edge (u,v); find its highest-degree
+			// interior node (deterministic: first along the path).
+			wi := -1
+			for i := 1; i < len(path)-1; i++ {
+				if wi == -1 || deg[path[i]] > deg[path[wi]] {
+					wi = i
+				}
+			}
+			if wi == -1 {
+				continue
+			}
+			w := path[wi]
+			lim := deg[u]
+			if deg[v] > lim {
+				lim = deg[v]
+			}
+			if deg[w] < lim+2 {
+				continue
+			}
+			// Swap: drop w's cycle edge toward u's side, add (u,v).
+			delT(path[wi-1], w)
+			addT(u, v)
+			improved = true
+		}
+	}
+
+	// Re-root the improved tree at the center to the PathTree form
+	// SharedTree routes over.
+	global := &graph.PathTree{
+		Root:   center,
+		Dist:   make([]float64, n),
+		Parent: make([]graph.NodeID, n),
+	}
+	for i := range global.Parent {
+		global.Parent[i] = -1
+	}
+	global.Parent[center] = center
+	for q := []graph.NodeID{center}; len(q) > 0; {
+		x := q[0]
+		q = q[1:]
+		for y := range inTree[x] {
+			if global.Parent[y] == -1 && y != center {
+				global.Parent[y] = x
+				global.Dist[y] = global.Dist[x] + 1
+				q = append(q, y)
+			}
+		}
+	}
+	depth := make(map[graph.NodeID]int, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		depth[graph.NodeID(u)] = global.Hops(graph.NodeID(u))
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	return &MinDegreeTree{
+		SharedTree: SharedTree{global: global, depth: depth},
+		maxDeg:     maxDeg,
+	}, nil
+}
+
+// Name implements Router.
+func (b *MinDegreeTree) Name() string { return "min-degree-tree" }
+
+// MaxDegree returns the maximum node degree of the global tree.
+func (b *MinDegreeTree) MaxDegree() int { return b.maxDeg }
+
+// TreeDegree returns n's degree in the global tree (its parent plus its
+// children) — the bound on its schedulable fan-in.
+func (b *MinDegreeTree) TreeDegree(n graph.NodeID) int {
+	d := 0
+	if n != b.global.Root {
+		d = 1
+	}
+	for u := range b.depth {
+		if u != n && b.global.Parent[u] == n && u != b.global.Root {
+			d++
+		}
+	}
+	return d
+}

@@ -1,0 +1,177 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2m/internal/graph"
+	"m2m/internal/topology"
+)
+
+// star returns a hub-and-spokes graph with extra rim edges so a
+// low-degree alternative to the hub exists.
+func star(n int) *graph.Undirected {
+	g := graph.NewUndirected(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, graph.NodeID(i), 1)
+	}
+	for i := 1; i < n-1; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	g.AddEdge(graph.NodeID(n-1), 1, 1)
+	return g
+}
+
+func isSpanningTree(t *testing.T, b *MinDegreeTree, net *graph.Undirected) {
+	t.Helper()
+	n := net.Len()
+	root := b.global.Root
+	edges := 0
+	for u := 0; u < n; u++ {
+		id := graph.NodeID(u)
+		if !b.global.Reachable(id) {
+			t.Fatalf("node %d not spanned", u)
+		}
+		if id == root {
+			continue
+		}
+		p := b.global.Parent[u]
+		if !net.HasEdge(id, p) {
+			t.Fatalf("tree edge %d—%d not a network edge", u, p)
+		}
+		edges++
+	}
+	if edges != n-1 {
+		t.Fatalf("%d tree edges for %d nodes", edges, n)
+	}
+}
+
+func TestMinDegreeReducesHub(t *testing.T) {
+	net := star(10)
+	mt, err := NewMinDegreeTree(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isSpanningTree(t, mt, net)
+	st, err := NewSharedTree(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The BFS tree at the hub has degree 9; the rim cycle lets the local
+	// search unload it.
+	stMax := 0
+	stDeg := make(map[graph.NodeID]int)
+	for u := 0; u < net.Len(); u++ {
+		id := graph.NodeID(u)
+		if id == st.global.Root {
+			continue
+		}
+		stDeg[st.global.Parent[u]]++
+		stDeg[id]++
+	}
+	for _, d := range stDeg {
+		if d > stMax {
+			stMax = d
+		}
+	}
+	if mt.MaxDegree() >= stMax {
+		t.Errorf("min-degree tree max degree %d not below shared tree's %d", mt.MaxDegree(), stMax)
+	}
+	if mt.MaxDegree() > 4 {
+		t.Errorf("hub-and-rim max degree %d, expected <= 4", mt.MaxDegree())
+	}
+}
+
+func TestMinDegreeDeterministic(t *testing.T) {
+	net := star(12)
+	a, err := NewMinDegreeTree(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMinDegreeTree(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range a.global.Parent {
+		if a.global.Parent[u] != b.global.Parent[u] {
+			t.Fatalf("parent of %d differs across builds: %d vs %d", u, a.global.Parent[u], b.global.Parent[u])
+		}
+	}
+	if a.MaxDegree() != b.MaxDegree() {
+		t.Fatalf("max degree differs: %d vs %d", a.MaxDegree(), b.MaxDegree())
+	}
+}
+
+func TestMinDegreeRandomTopologies(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		l := topology.UniformRandom(40, topology.GreatDuckIsland().Area, rng.Int63())
+		l.EnsureConnected(50)
+		net := l.ConnectivityGraph(50)
+		mt, err := NewMinDegreeTree(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		isSpanningTree(t, mt, net)
+		st, err := NewSharedTree(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stMax := 0
+		cnt := make([]int, net.Len())
+		for u := 0; u < net.Len(); u++ {
+			id := graph.NodeID(u)
+			if id == st.global.Root {
+				continue
+			}
+			cnt[st.global.Parent[u]]++
+			cnt[u]++
+		}
+		for _, d := range cnt {
+			if d > stMax {
+				stMax = d
+			}
+		}
+		if mt.MaxDegree() > stMax {
+			t.Errorf("trial %d: min-degree max %d exceeds shared tree max %d", trial, mt.MaxDegree(), stMax)
+		}
+		// Routing still works and stays inside the tree.
+		p, err := mt.Path(1, graph.NodeID(net.Len()-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(p); i++ {
+			if !net.HasEdge(p[i-1], p[i]) {
+				t.Fatalf("trial %d: path hop %d—%d not an edge", trial, p[i-1], p[i])
+			}
+		}
+	}
+}
+
+func TestMinDegreeErrors(t *testing.T) {
+	if _, err := NewMinDegreeTree(graph.NewUndirected(0)); err == nil {
+		t.Error("empty network accepted")
+	}
+	g := graph.NewUndirected(4)
+	g.AddEdge(0, 1, 1)
+	if _, err := NewMinDegreeTree(g); err == nil {
+		t.Error("disconnected network accepted")
+	}
+}
+
+func TestMinDegreeTreeDegreeMatchesMax(t *testing.T) {
+	net := star(9)
+	mt, err := NewMinDegreeTree(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for u := 0; u < net.Len(); u++ {
+		if d := mt.TreeDegree(graph.NodeID(u)); d > max {
+			max = d
+		}
+	}
+	if max != mt.MaxDegree() {
+		t.Errorf("TreeDegree max %d != MaxDegree %d", max, mt.MaxDegree())
+	}
+}

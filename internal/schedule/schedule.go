@@ -97,6 +97,29 @@ func Build(net *graph.Undirected, msgs []Message) (*Schedule, error) {
 	return s, nil
 }
 
+// FromSlotOf reconstructs a Schedule from a bare slot assignment — the
+// form a frame travels in on the wire. It rebuilds the per-slot message
+// lists; callers must Validate the result against the message graph
+// before executing it, since the assignment may come from an untrusted
+// or stale frame.
+func FromSlotOf(slotOf []int) (*Schedule, error) {
+	s := &Schedule{SlotOf: append([]int(nil), slotOf...)}
+	max := -1
+	for i, sl := range slotOf {
+		if sl < 0 {
+			return nil, fmt.Errorf("schedule: message %d assigned negative slot %d", i, sl)
+		}
+		if sl > max {
+			max = sl
+		}
+	}
+	s.Slots = make([][]int, max+1)
+	for i, sl := range slotOf {
+		s.Slots[sl] = append(s.Slots[sl], i)
+	}
+	return s, nil
+}
+
 // Conflicts reports whether messages a and b cannot share a slot under
 // the protocol interference model.
 func Conflicts(net *graph.Undirected, a, b Message) bool {

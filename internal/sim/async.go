@@ -365,6 +365,7 @@ type asyncEvent struct {
 	msg     int
 	attempt int // wire attempt sequence (Deliver draw index)
 	copy    int
+	wreck   bool // a collision-destroyed frame arriving: RX paid, no merge, no ack
 }
 
 type eventQueue []asyncEvent
@@ -466,6 +467,14 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 	// The fence and the adversary read the original schedule: zeroAsync
 	// wrapping must not hide an Epochs or Adversary implementation.
 	e.fillEdgeFence(ls, faults)
+	// Under a collision schedule the round's contention is resolved once
+	// by the slot oracle and replayed here attempt-for-attempt, so the
+	// event-driven outcomes match the synchronous executor's exactly.
+	cp, err := e.collisionPlanFor(round, faults, cfg.MaxRetries, ls.edgeOK)
+	if err != nil {
+		return nil, err
+	}
+	cf, _ := faults.(CollisionFaults)
 	adv := e.adversaryFor(faults)
 	contribs := make([][]contrib, c.nRec)
 	for i, slot := range c.srcSlot {
@@ -517,11 +526,31 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 		pushSeq++
 		heap.Push(&q, asyncEvent{t: t, kind: kind, seq: pushSeq, msg: msg, attempt: attempt, copy: copy})
 	}
+	pushWreck := func(t float64, msg, attempt int) {
+		pushSeq++
+		heap.Push(&q, asyncEvent{t: t, kind: evArrive, seq: pushSeq, msg: msg, attempt: attempt, wreck: true})
+	}
 
 	serMS := func(bodyBytes int) float64 {
 		return cfg.ByteTimeMS * float64(e.Radio.MessageBytes(bodyBytes))
 	}
 	serAckMS := cfg.ByteTimeMS * float64(e.Radio.HeaderBytes)
+
+	// Slot duration (largest planned frame) maps the oracle's slot
+	// arithmetic — TDMA send times, backoff gaps — onto simulated time.
+	var slotMS float64
+	if cp != nil {
+		slotMS = serMS(cp.maxBody)
+	}
+	// sendAt floors a message's first transmission to its TDMA slot.
+	sendAt := func(t float64, mi int) float64 {
+		if cp != nil && cp.slotOf != nil {
+			if fl := float64(cp.slotOf[mi]) * slotMS; t < fl {
+				t = fl
+			}
+		}
+		return t
+	}
 
 	var runErr error
 	note := func(t float64) {
@@ -578,7 +607,7 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 			ds := &msgs[dm]
 			ds.waiting--
 			if ds.waiting == 0 {
-				push(t, evSend, dm, 0, 0)
+				push(sendAt(t, dm), evSend, dm, 0, 0)
 			}
 		}
 		for _, fi := range topo.relevant[mi] {
@@ -614,7 +643,34 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 		eid := c.msgEdge[mi]
 		wireAtt := attemptSeq[eid]
 		attemptSeq[eid] = wireAtt + 1
-		if !down(st.edge.To) && af.Deliver(round, st.edge, wireAtt) {
+		heardOK := false
+		if cp != nil {
+			// Replay the oracle's resolved outcome for this attempt; only
+			// the battery gates are re-applied here (the slot model cannot
+			// see mid-round brown-outs).
+			switch cp.outcome(mi, st.attempts-1) {
+			case coCollided:
+				res.Collisions++
+				if !down(st.edge.To) && (bat == nil || bat.Spend(round, st.edge.To, e.Radio.RxJoules(st.body))) {
+					lat := af.LatencyMS(round, st.edge, wireAtt, 0)
+					pushWreck(now+serMS(st.body)+lat, mi, wireAtt)
+				}
+			case coDelivered:
+				if !down(st.edge.To) {
+					copies := 1 + af.Duplicates(round, st.edge, wireAtt)
+					heard := 0
+					for c := 0; c < copies; c++ {
+						if bat != nil && !bat.Spend(round, st.edge.To, e.Radio.RxJoules(st.body)) {
+							break
+						}
+						lat := af.LatencyMS(round, st.edge, wireAtt, 2*c)
+						push(now+serMS(st.body)+lat, evArrive, mi, wireAtt, c)
+						heard++
+					}
+					heardOK = heard > 0
+				}
+			}
+		} else if !down(st.edge.To) && af.Deliver(round, st.edge, wireAtt) {
 			copies := 1 + af.Duplicates(round, st.edge, wireAtt)
 			heard := 0
 			for c := 0; c < copies; c++ {
@@ -625,21 +681,22 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 				push(now+serMS(st.body)+lat, evArrive, mi, wireAtt, c)
 				heard++
 			}
-			// An epoch-fenced copy still arrives (and is paid for), but the
-			// receiver will discard it, so it cannot resolve the message.
-			if heard > 0 && ls.edgeOK[eid] {
-				st.anyCopyComing = true
-			}
+			heardOK = heard > 0
+		}
+		// An epoch-fenced copy still arrives (and is paid for), but the
+		// receiver will discard it, so it cannot resolve the message.
+		if heardOK && ls.edgeOK[eid] {
+			st.anyCopyComing = true
 		}
 		push(now+st.rto, evTimeout, mi, st.attempts, 0)
 		return true
 	}
 
-	// Seed the loop: every message with no dependencies fires at t=0, in
-	// planned order.
+	// Seed the loop: every message with no dependencies fires at t=0 (or
+	// its TDMA slot), in planned order.
 	for mi := range msgs {
 		if msgs[mi].waiting == 0 {
-			push(0, evSend, mi, 0, 0)
+			push(sendAt(0, mi), evSend, mi, 0, 0)
 		}
 	}
 	if cfg.DeadlineMS > 0 {
@@ -694,6 +751,12 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 			st := &msgs[ev.msg]
 			st.copies++
 			note(ev.t)
+			if ev.wreck {
+				// A collision-destroyed frame: the receiver paid RX for the
+				// wreck (copies settles the books) but there is nothing to
+				// merge, dedup, or acknowledge.
+				continue
+			}
 			tag := topo.seqTag[ev.msg]
 			eid := c.msgEdge[ev.msg]
 			if !ls.edgeOK[eid] {
@@ -763,7 +826,19 @@ func (a *AsyncRunner) Run(round int, readings map[graph.NodeID]float64, faults F
 				if st.rto > cfg.MaxRTOMS {
 					st.rto = cfg.MaxRTOMS
 				}
-				if !transmit(ev.msg, ev.t) && !st.anyCopyComing {
+				when := ev.t
+				if cp != nil && cp.mode != TxUnscheduled {
+					// Backoff and TDMA recovery: delay the retransmission by
+					// the oracle's seeded binary exponential backoff draw so
+					// retries de-synchronize in time like they do in slots.
+					ft := st.attempts - 1 // the try that just failed
+					window := 2
+					for i := 0; i < ft && i < 5; i++ {
+						window *= 2
+					}
+					when += float64(cf.BackoffSlots(round, st.edge, attemptSalt(ev.msg, ft), window)) * slotMS
+				}
+				if !transmit(ev.msg, when) && !st.anyCopyComing {
 					// Browned out mid-ARQ with nothing in flight: the
 					// remaining retries are abandoned.
 					resolve(ev.msg, ev.t)

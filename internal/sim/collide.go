@@ -1,0 +1,440 @@
+package sim
+
+import (
+	"fmt"
+
+	"m2m/internal/graph"
+	"m2m/internal/routing"
+	"m2m/internal/schedule"
+)
+
+// This file is the contention-aware channel: a slotted collision model
+// (protocol interference, no collision detection — after Chang & Guan)
+// and the transmission disciplines that ride it out. The centerpiece is
+// the collision oracle: a per-round, purely deterministic slot-by-slot
+// resolution of every planned message's fate — delivered, collided, or
+// lost, per attempt — that BOTH the synchronous ARQ executor and the
+// event-driven executor replay instead of consulting the channel
+// directly. One resolution, two executors: the same seed yields
+// identical collision outcomes everywhere by construction.
+//
+// The slot model: a message becomes eligible when its wait-for
+// dependencies (Theorem 2's DAG, at message granularity) have resolved.
+// Each sender's radio transmits at most one frame per slot (same-sender
+// traffic serializes FIFO in planned order). Two frames in one slot
+// destroy each other when they conflict under the protocol interference
+// model — shared receiver, or either receiver in range of the other
+// sender — unless a seeded capture draw rescues one, or the receiver is
+// outside the configured collision scope. A destroyed frame still costs
+// the sender TX and the receiver RX (the wreck is heard, then fails its
+// checksum); a plain loss costs TX only.
+//
+// Transmission disciplines (TxMode):
+//
+//   - TxUnscheduled: send as soon as dependencies allow, retry in the
+//     very next slot — lockstep retries re-collide, the failure mode the
+//     other two modes exist to fix;
+//   - TxBackoff: as above, but retries wait a seeded random binary
+//     exponential backoff, de-synchronizing contending senders;
+//   - TxTDMA: first attempts fire in the slots of a validated
+//     internal/schedule frame (conflict-free by construction — a
+//     fault-free TDMA round has zero collisions and is byte-identical to
+//     Engine.Run), with backoff ARQ as the recovery path for retries,
+//     which fall outside the frame's guarantees.
+//
+// Known approximation: the oracle gates senders and receivers on the
+// fault schedule's NodeDead at round start, not on mid-round battery
+// brown-outs — those are applied by each executor while replaying (a
+// browned-out sender abandons its remaining oracle attempts, exactly as
+// it abandons ARQ retries today).
+
+// TxMode selects the engine's transmission discipline under the
+// collision channel. It has no effect unless the fault schedule enables
+// collisions (chaos.WithCollisions).
+type TxMode int
+
+const (
+	// TxUnscheduled sends ASAP and retries in the next slot.
+	TxUnscheduled TxMode = iota
+	// TxBackoff sends ASAP and retries after a seeded random binary
+	// exponential backoff.
+	TxBackoff
+	// TxTDMA drives first attempts off the loaded schedule frame and
+	// recovers retries with backoff ARQ. Requires EnableTDMA or LoadFrame.
+	TxTDMA
+)
+
+func (m TxMode) String() string {
+	switch m {
+	case TxUnscheduled:
+		return "unscheduled"
+	case TxBackoff:
+		return "backoff"
+	case TxTDMA:
+		return "tdma"
+	default:
+		return fmt.Sprintf("txmode(%d)", int(m))
+	}
+}
+
+// CollisionFaults extends the Faults schedule with the contention
+// dimensions (chaos.Injector implements it). All methods must be pure
+// functions of their arguments.
+type CollisionFaults interface {
+	Faults
+	// CollisionsEnabled reports whether the slot-contention model is on;
+	// when false the executors bypass the oracle entirely.
+	CollisionsEnabled() bool
+	// CollisionReceiver reports whether frames toward n are in collision
+	// scope (out-of-scope receivers never lose frames to contention but
+	// their senders still interfere with in-scope ones).
+	CollisionReceiver(n graph.NodeID) bool
+	// CaptureWins reports whether the attempt-th frame of the round on e
+	// survives a collision it is part of.
+	CaptureWins(round int, e routing.Edge, attempt int) bool
+	// BackoffSlots draws a uniform backoff in [0, window) slots.
+	BackoffSlots(round int, e routing.Edge, attempt, window int) int
+}
+
+// contention is the static conflict topology of the engine's message
+// layout: which planned messages cannot share a slot, plus the schedule
+// form of the layout. Built lazily once per engine; immutable after.
+type contention struct {
+	msgs     []schedule.Message
+	conflict [][]int // conflict[mi] = message indices mi interferes with, ascending
+	maxBody  int     // largest planned message body in bytes (slot sizing)
+}
+
+// contentionTopo builds (once) the conflict adjacency over the message
+// layout. Unavailable in broadcast mode, like MessageGraph.
+func (e *Engine) contentionTopo() (*contention, error) {
+	e.contOnce.Do(func() {
+		infos, err := e.MessageGraph()
+		if err != nil {
+			e.contErr = err
+			return
+		}
+		ct := &contention{
+			msgs:     make([]schedule.Message, len(infos)),
+			conflict: make([][]int, len(infos)),
+		}
+		for i, inf := range infos {
+			ct.msgs[i] = schedule.Message{From: inf.From, To: inf.To, Deps: inf.Deps}
+		}
+		net := e.Plan.Inst.Net
+		for i := range ct.msgs {
+			for j := i + 1; j < len(ct.msgs); j++ {
+				if schedule.Conflicts(net, ct.msgs[i], ct.msgs[j]) {
+					ct.conflict[i] = append(ct.conflict[i], j)
+					ct.conflict[j] = append(ct.conflict[j], i)
+				}
+			}
+		}
+		for _, msg := range e.messages {
+			body := 0
+			for _, ui := range msg {
+				body += int(e.prog.unitBytes[ui])
+			}
+			if body > ct.maxBody {
+				ct.maxBody = body
+			}
+		}
+		e.cont = ct
+	})
+	return e.cont, e.contErr
+}
+
+// BuildSchedule derives the TDMA frame for the engine's message layout:
+// the wait-for DAG supplies the precedence edges and the greedy colorer
+// packs non-conflicting messages into shared slots.
+func (e *Engine) BuildSchedule() (*schedule.Schedule, []schedule.Message, error) {
+	ct, err := e.contentionTopo()
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := schedule.Build(e.Plan.Inst.Net, ct.msgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, ct.msgs, nil
+}
+
+// EnableTDMA builds, validates, and installs the engine's own TDMA frame
+// and switches the transmission discipline to TxTDMA. Not safe to call
+// concurrently with running rounds.
+func (e *Engine) EnableTDMA() error {
+	s, msgs, err := e.BuildSchedule()
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(e.Plan.Inst.Net, msgs); err != nil {
+		return err
+	}
+	e.txSched = s
+	e.txMode = TxTDMA
+	return nil
+}
+
+// LoadFrame installs a TDMA frame from a bare slot assignment — the form
+// a frame arrives in off the wire — validating it against the engine's
+// message graph before anything executes from it, and switches to
+// TxTDMA. Not safe to call concurrently with running rounds.
+func (e *Engine) LoadFrame(slotOf []int) error {
+	ct, err := e.contentionTopo()
+	if err != nil {
+		return err
+	}
+	s, err := schedule.FromSlotOf(slotOf)
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(e.Plan.Inst.Net, ct.msgs); err != nil {
+		return err
+	}
+	e.txSched = s
+	e.txMode = TxTDMA
+	return nil
+}
+
+// SetTxMode selects the transmission discipline. TxTDMA requires a frame
+// installed by EnableTDMA or LoadFrame first. Not safe to call
+// concurrently with running rounds.
+func (e *Engine) SetTxMode(m TxMode) error {
+	switch m {
+	case TxUnscheduled, TxBackoff:
+		e.txMode = m
+	case TxTDMA:
+		if e.txSched == nil {
+			return fmt.Errorf("sim: TxTDMA needs a schedule frame (EnableTDMA or LoadFrame first)")
+		}
+		e.txMode = m
+	default:
+		return fmt.Errorf("sim: unknown tx mode %d", int(m))
+	}
+	return nil
+}
+
+// TransmitMode returns the current transmission discipline.
+func (e *Engine) TransmitMode() TxMode { return e.txMode }
+
+// Frame returns the installed TDMA slot assignment (nil when none).
+func (e *Engine) Frame() []int {
+	if e.txSched == nil {
+		return nil
+	}
+	return append([]int(nil), e.txSched.SlotOf...)
+}
+
+// Per-attempt channel outcomes the oracle hands to the executors.
+const (
+	coLost      byte = iota // nothing heard: sender TX only
+	coCollided              // wreck heard: sender TX + receiver RX, no ack
+	coDelivered             // frame heard intact (the fence may still discard it)
+)
+
+// collisionPlan is one round's resolved contention: for every planned
+// message, the outcome of each transmission attempt the slot model
+// simulated, in order. Executors replay these outcomes one-for-one with
+// their own attempts instead of consulting Deliver themselves.
+type collisionPlan struct {
+	tries     [][]byte
+	delivered []bool
+	slotOf    []int // TxTDMA first-attempt slots (nil otherwise)
+	maxBody   int
+	mode      TxMode
+}
+
+// outcome returns the fate of the try-th attempt of message mi. Attempts
+// past the simulated horizon (an event-driven executor's spurious
+// retransmissions of already-delivered data) report coLost: the frame
+// vanishes into contention noise, which the dedup window would have
+// discarded anyway.
+func (p *collisionPlan) outcome(mi, try int) byte {
+	if try < len(p.tries[mi]) {
+		return p.tries[mi][try]
+	}
+	return coLost
+}
+
+// attemptSalt decorrelates the per-(message, try) capture and backoff
+// draws: message indices share edges (and an edge its draw inputs), so
+// the attempt axis carries the message identity too.
+func attemptSalt(mi, try int) int {
+	if try > 63 {
+		try = 63
+	}
+	return mi*64 + try
+}
+
+// collisionPlanFor resolves the round's contention, or returns nil when
+// the fault schedule does not enable collisions. edgeOK is the epoch
+// fence view (nil = all edges current): a fenced edge's frames are heard
+// but never acknowledged, so its sender burns the whole retry budget.
+func (e *Engine) collisionPlanFor(round int, faults Faults, maxRetries int, edgeOK []bool) (*collisionPlan, error) {
+	cf, ok := faults.(CollisionFaults)
+	if !ok || !cf.CollisionsEnabled() {
+		return nil, nil
+	}
+	ct, err := e.contentionTopo()
+	if err != nil {
+		return nil, fmt.Errorf("sim: collision model: %w", err)
+	}
+	if e.txMode == TxTDMA && e.txSched == nil {
+		return nil, fmt.Errorf("sim: TxTDMA without a loaded frame")
+	}
+	topo := e.asyncTopology()
+	n := len(e.messages)
+	p := &collisionPlan{
+		tries:     make([][]byte, n),
+		delivered: make([]bool, n),
+		maxBody:   ct.maxBody,
+		mode:      e.txMode,
+	}
+	if e.txMode == TxTDMA {
+		p.slotOf = e.txSched.SlotOf
+	}
+
+	// base[mi] is the earliest slot the discipline allows mi's first
+	// attempt in; want[mi] the next slot it will transmit in (-1 =
+	// waiting or finished); waiting[mi] its unresolved dependency count.
+	base := make([]int, n)
+	if p.slotOf != nil {
+		copy(base, p.slotOf)
+	}
+	want := make([]int, n)
+	waiting := make([]int, n)
+	finished := make([]bool, n)
+	recvDead := make([]bool, n)
+	fenced := make([]bool, n)
+	for mi := range want {
+		want[mi] = -1
+		waiting[mi] = len(topo.deps[mi])
+		edge := ct.msgs[mi]
+		recvDead[mi] = faults.NodeDead(round, edge.To)
+		if edgeOK != nil {
+			fenced[mi] = !edgeOK[e.prog.msgEdge[mi]]
+		}
+	}
+	attemptCtr := make([]int, e.prog.nMsgEdges)
+	pending := 0
+
+	// resolve marks mi settled at the end of slot s: dependents may
+	// transmit from s+1 on. A dead sender resolves before slot 0 (s=-1):
+	// silence, zero attempts, exactly like the ARQ executor's gate.
+	var resolve func(mi, s int)
+	ready := func(mi, s int) {
+		if faults.NodeDead(round, ct.msgs[mi].From) {
+			finished[mi] = true
+			resolve(mi, s)
+			return
+		}
+		w := base[mi]
+		if w < s+1 {
+			w = s + 1
+		}
+		want[mi] = w
+		pending++
+	}
+	resolve = func(mi, s int) {
+		for _, dm := range topo.dependents[mi] {
+			waiting[dm]--
+			if waiting[dm] == 0 {
+				ready(dm, s)
+			}
+		}
+	}
+	for mi := range want {
+		if waiting[mi] == 0 {
+			ready(mi, -1)
+		}
+	}
+
+	inSlot := make(map[int]bool, 8)
+	for pending > 0 {
+		// Next populated slot.
+		s := -1
+		for mi, w := range want {
+			if !finished[mi] && w >= 0 && (s == -1 || w < s) {
+				s = w
+			}
+		}
+		if s == -1 {
+			break
+		}
+		// One frame per sender per slot: the radio serializes its own
+		// queue in planned order; deferred frames slip one slot.
+		var txs []int
+		sender := make(map[graph.NodeID]bool)
+		for mi, w := range want {
+			if finished[mi] || w != s {
+				continue
+			}
+			from := ct.msgs[mi].From
+			if sender[from] {
+				want[mi] = s + 1
+				continue
+			}
+			sender[from] = true
+			txs = append(txs, mi)
+		}
+		for k := range inSlot {
+			delete(inSlot, k)
+		}
+		for _, mi := range txs {
+			inSlot[mi] = true
+		}
+		for _, mi := range txs {
+			edge := routing.Edge{From: ct.msgs[mi].From, To: ct.msgs[mi].To}
+			try := len(p.tries[mi])
+			conflicted := false
+			for _, other := range e.cont.conflict[mi] {
+				if inSlot[other] {
+					conflicted = true
+					break
+				}
+			}
+			var oc byte
+			switch {
+			case conflicted && cf.CollisionReceiver(edge.To) && !cf.CaptureWins(round, edge, attemptSalt(mi, try)):
+				oc = coCollided
+			case recvDead[mi]:
+				oc = coLost
+			default:
+				eid := e.prog.msgEdge[mi]
+				seq := attemptCtr[eid]
+				attemptCtr[eid]++
+				if faults.Deliver(round, edge, seq) {
+					oc = coDelivered
+				} else {
+					oc = coLost
+				}
+			}
+			p.tries[mi] = append(p.tries[mi], oc)
+			if oc == coDelivered && !fenced[mi] {
+				p.delivered[mi] = true
+				finished[mi] = true
+				pending--
+				resolve(mi, s)
+				continue
+			}
+			// Lost, collided, or heard-but-fenced (never acknowledged):
+			// retry if budget remains, per the discipline.
+			if try >= maxRetries {
+				finished[mi] = true
+				pending--
+				resolve(mi, s)
+				continue
+			}
+			next := s + 1
+			if e.txMode != TxUnscheduled {
+				window := 2
+				for i := 0; i < try && i < 5; i++ {
+					window *= 2
+				}
+				next += cf.BackoffSlots(round, edge, attemptSalt(mi, try), window)
+			}
+			want[mi] = next
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"m2m/internal/agg"
+	"m2m/internal/chaos"
+	"m2m/internal/graph"
+	"m2m/internal/plan"
+	"m2m/internal/radio"
+	"m2m/internal/routing"
+)
+
+// starInstance builds a hub at 0 with direct spokes 1..n: the worst-case
+// fan-in workload where every planned message shares the receiver, so
+// every concurrent transmission collides.
+func starInstance(t *testing.T, spokes int) *plan.Instance {
+	t.Helper()
+	g := graph.NewUndirected(spokes + 1)
+	w := make(map[graph.NodeID]float64, spokes)
+	for i := 1; i <= spokes; i++ {
+		if err := g.AddEdge(0, graph.NodeID(i), 1); err != nil {
+			t.Fatal(err)
+		}
+		w[graph.NodeID(i)] = 1
+	}
+	specs := []agg.Spec{{Dest: 0, Func: agg.NewWeightedSum(w)}}
+	inst, err := plan.NewInstance(g, routing.NewReversePath(g), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func collideEngine(t *testing.T, inst *plan.Instance) *Engine {
+	t.Helper()
+	p, err := plan.Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p, radio.DefaultModel(), Options{MergeMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestTDMAFaultFreeByteIdenticalLossy(t *testing.T) {
+	// The acceptance bar: with collisions enabled but no link loss, a
+	// validated TDMA frame is conflict-free, so the round must reproduce
+	// Engine.Run bit for bit — values, total energy, and per-node energy —
+	// with zero collisions and zero retries.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 3; trial++ {
+		inst := buildInstance(t, rng, 40, 6, 6, trial == 1)
+		eng := collideEngine(t, inst)
+		if err := eng.EnableTDMA(); err != nil {
+			t.Fatal(err)
+		}
+		readings := randomReadings(rng, inst.Net.Len())
+		plain, err := eng.Run(readings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := chaos.New(int64(trial)).WithCollisions(0.3)
+		lossy, err := eng.RunLossy(trial, readings, inj, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lossy.Collisions != 0 {
+			t.Fatalf("trial %d: %d collisions under a validated frame", trial, lossy.Collisions)
+		}
+		if lossy.Retries != 0 || lossy.Dropped != 0 {
+			t.Fatalf("trial %d: retries=%d dropped=%d on a fault-free TDMA round", trial, lossy.Retries, lossy.Dropped)
+		}
+		if lossy.EnergyJ != plain.EnergyJ {
+			t.Fatalf("trial %d: energy %v != %v", trial, lossy.EnergyJ, plain.EnergyJ)
+		}
+		if len(lossy.Values) != len(plain.Values) {
+			t.Fatalf("trial %d: %d values, want %d", trial, len(lossy.Values), len(plain.Values))
+		}
+		for d, v := range plain.Values {
+			if lossy.Values[d] != v {
+				t.Fatalf("trial %d: value at %d = %v, want %v (bit-exact)", trial, d, lossy.Values[d], v)
+			}
+		}
+		for n, j := range plain.PerNodeJ {
+			if lossy.PerNodeJ[n] != j {
+				t.Fatalf("trial %d: per-node energy at %d differs", trial, n)
+			}
+		}
+	}
+}
+
+func TestTDMAFaultFreeByteIdenticalAsync(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 3; trial++ {
+		inst := buildInstance(t, rng, 35, 5, 5, trial == 2)
+		eng := collideEngine(t, inst)
+		if err := eng.EnableTDMA(); err != nil {
+			t.Fatal(err)
+		}
+		readings := randomReadings(rng, inst.Net.Len())
+		plain, err := eng.Run(readings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := chaos.New(int64(trial)).WithCollisions(0.3)
+		async, err := eng.RunAsync(trial, readings, inj, AsyncConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		validateAll(t, async)
+		if async.Collisions != 0 {
+			t.Fatalf("trial %d: %d collisions under a validated frame", trial, async.Collisions)
+		}
+		if async.EnergyJ != plain.EnergyJ {
+			t.Fatalf("trial %d: energy %v != %v", trial, async.EnergyJ, plain.EnergyJ)
+		}
+		for d, v := range plain.Values {
+			if async.Values[d] != v {
+				t.Fatalf("trial %d: value at %d = %v, want %v (bit-exact)", trial, d, async.Values[d], v)
+			}
+		}
+		for n, j := range plain.PerNodeJ {
+			if async.PerNodeJ[n] != j {
+				t.Fatalf("trial %d: per-node energy at %d differs", trial, n)
+			}
+		}
+	}
+}
+
+func TestContentionDisciplines(t *testing.T) {
+	// Six spokes all firing at one hub. Unscheduled retries are lockstep
+	// and re-collide until the budget dies: total loss. Backoff
+	// de-synchronizes and recovers some messages. TDMA serializes the
+	// frame and delivers everything collision-free.
+	inst := starInstance(t, 6)
+	readings := randomReadings(rand.New(rand.NewSource(7)), inst.Net.Len())
+	inj := chaos.New(11).WithCollisions(0)
+
+	eng := collideEngine(t, inst)
+	plain, err := eng.Run(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	unsched, err := eng.RunLossy(0, readings, inj, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsched.Dropped != unsched.Messages {
+		t.Fatalf("unscheduled: %d/%d dropped, lockstep retries should all re-collide",
+			unsched.Dropped, unsched.Messages)
+	}
+	if unsched.Collisions != unsched.Transmissions {
+		t.Fatalf("unscheduled: %d collisions over %d transmissions, expected every attempt wrecked",
+			unsched.Collisions, unsched.Transmissions)
+	}
+	if rep := unsched.Reports[0]; rep == nil || !rep.Starved {
+		t.Fatalf("unscheduled: destination not starved: %+v", rep)
+	}
+	if unsched.EnergyJ <= plain.EnergyJ {
+		t.Fatalf("unscheduled contention spent %v J, should exceed the clean round's %v J",
+			unsched.EnergyJ, plain.EnergyJ)
+	}
+
+	if err := eng.SetTxMode(TxBackoff); err != nil {
+		t.Fatal(err)
+	}
+	backoff, err := eng.RunLossy(0, readings, inj, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backoff.Dropped >= unsched.Dropped {
+		t.Fatalf("backoff dropped %d, no better than unscheduled's %d", backoff.Dropped, unsched.Dropped)
+	}
+	if delivered := backoff.Messages - backoff.Dropped; delivered == 0 {
+		t.Fatal("backoff recovered nothing")
+	}
+
+	if err := eng.EnableTDMA(); err != nil {
+		t.Fatal(err)
+	}
+	tdma, err := eng.RunLossy(0, readings, inj, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tdma.Collisions != 0 || tdma.Dropped != 0 || tdma.Retries != 0 {
+		t.Fatalf("tdma: collisions=%d dropped=%d retries=%d, want a clean frame",
+			tdma.Collisions, tdma.Dropped, tdma.Retries)
+	}
+	if tdma.EnergyJ != plain.EnergyJ {
+		t.Fatalf("tdma energy %v != clean round %v", tdma.EnergyJ, plain.EnergyJ)
+	}
+	for d, v := range plain.Values {
+		if tdma.Values[d] != v {
+			t.Fatalf("tdma value at %d = %v, want %v", d, tdma.Values[d], v)
+		}
+	}
+}
+
+func TestCaptureRescuesFrames(t *testing.T) {
+	// With a strong capture effect most colliding frames survive anyway,
+	// so the same lockstep workload that totally starves without capture
+	// now mostly delivers.
+	inst := starInstance(t, 6)
+	readings := randomReadings(rand.New(rand.NewSource(7)), inst.Net.Len())
+	eng := collideEngine(t, inst)
+
+	none, err := eng.RunLossy(0, readings, chaos.New(11).WithCollisions(0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture, err := eng.RunLossy(0, readings, chaos.New(11).WithCollisions(0.95), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capture.Dropped >= none.Dropped {
+		t.Fatalf("capture dropped %d, no better than no-capture %d", capture.Dropped, none.Dropped)
+	}
+	if delivered := capture.Messages - capture.Dropped; delivered < capture.Messages/2 {
+		t.Fatalf("capture at 0.95 delivered only %d of %d", delivered, capture.Messages)
+	}
+}
+
+func TestCollisionScopeExemptsReceiver(t *testing.T) {
+	// Scope restricted to a node that receives nothing here: frames toward
+	// the hub never collide, so the contended round is byte-identical to
+	// the clean one.
+	inst := starInstance(t, 6)
+	readings := randomReadings(rand.New(rand.NewSource(7)), inst.Net.Len())
+	eng := collideEngine(t, inst)
+	plain, err := eng.Run(readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.New(11).WithCollisions(0).WithCollisionReceivers(inst.Net.Len(), 3)
+	res, err := eng.RunLossy(0, readings, inj, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collisions != 0 || res.Dropped != 0 {
+		t.Fatalf("out-of-scope receiver still lost frames: collisions=%d dropped=%d",
+			res.Collisions, res.Dropped)
+	}
+	if res.EnergyJ != plain.EnergyJ {
+		t.Fatalf("energy %v != %v", res.EnergyJ, plain.EnergyJ)
+	}
+	for d, v := range plain.Values {
+		if res.Values[d] != v {
+			t.Fatalf("value at %d = %v, want %v", d, res.Values[d], v)
+		}
+	}
+}
+
+func TestLoadFrameValidation(t *testing.T) {
+	inst := starInstance(t, 5)
+	eng := collideEngine(t, inst)
+	s, msgs, err := eng.BuildSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != len(s.SlotOf) {
+		t.Fatalf("%d slots for %d messages", len(s.SlotOf), len(msgs))
+	}
+	if err := eng.LoadFrame(s.SlotOf); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	if eng.TransmitMode() != TxTDMA {
+		t.Fatalf("mode %v after LoadFrame", eng.TransmitMode())
+	}
+
+	// All-zero assignment packs every conflicting spoke into one slot.
+	bad := make([]int, len(s.SlotOf))
+	if err := eng.LoadFrame(bad); err == nil {
+		t.Fatal("conflicting frame accepted")
+	}
+	// Truncated frame leaves messages unassigned.
+	if err := eng.LoadFrame(s.SlotOf[:len(s.SlotOf)-1]); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	// Negative slots are malformed on their face.
+	neg := append([]int(nil), s.SlotOf...)
+	neg[0] = -1
+	if err := eng.LoadFrame(neg); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	// Failed loads must not clobber the installed frame.
+	if eng.TransmitMode() != TxTDMA || eng.Frame() == nil {
+		t.Fatal("failed LoadFrame corrupted the installed frame")
+	}
+}
+
+func TestSetTxModeRules(t *testing.T) {
+	eng := collideEngine(t, starInstance(t, 4))
+	if eng.TransmitMode() != TxUnscheduled {
+		t.Fatalf("default mode %v", eng.TransmitMode())
+	}
+	if eng.Frame() != nil {
+		t.Fatal("frame installed before EnableTDMA")
+	}
+	if err := eng.SetTxMode(TxTDMA); err == nil {
+		t.Fatal("TxTDMA accepted without a frame")
+	}
+	if err := eng.SetTxMode(TxMode(9)); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := eng.SetTxMode(TxBackoff); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableTDMA(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.TransmitMode() != TxTDMA || len(eng.Frame()) == 0 {
+		t.Fatal("EnableTDMA did not install a frame")
+	}
+	if err := eng.SetTxMode(TxTDMA); err != nil {
+		t.Fatalf("TxTDMA with a frame: %v", err)
+	}
+	for _, m := range []TxMode{TxUnscheduled, TxBackoff, TxTDMA, TxMode(9)} {
+		if m.String() == "" {
+			t.Fatal("empty TxMode string")
+		}
+	}
+}
+
+func TestBroadcastModeCollisionsUnsupported(t *testing.T) {
+	inst := starInstance(t, 4)
+	p, err := plan.Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p, radio.DefaultModel(), Options{MergeMessages: true, Broadcast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.EnableTDMA(); err == nil {
+		t.Fatal("EnableTDMA accepted in broadcast mode")
+	}
+	readings := randomReadings(rand.New(rand.NewSource(1)), inst.Net.Len())
+	if _, err := eng.RunLossy(0, readings, chaos.New(1).WithCollisions(0), 2); err == nil {
+		t.Fatal("collision faults accepted in broadcast mode")
+	}
+}
+
+func TestCollisionAsyncMatchesLossy(t *testing.T) {
+	// Same seed, same retry budget: both executors replay the same oracle,
+	// so collision counts and per-message fates agree exactly.
+	inst := starInstance(t, 6)
+	readings := randomReadings(rand.New(rand.NewSource(7)), inst.Net.Len())
+	for _, capture := range []float64{0, 0.5} {
+		eng := collideEngine(t, inst)
+		inj := chaos.New(19).WithCollisions(capture)
+		lossy, err := eng.RunLossy(3, readings, inj, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		async, err := eng.RunAsync(3, readings, inj, AsyncConfig{MaxRetries: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		validateAll(t, async)
+		if async.Collisions != lossy.Collisions {
+			t.Fatalf("capture %v: async %d collisions, lossy %d", capture, async.Collisions, lossy.Collisions)
+		}
+		if async.Dropped != lossy.Dropped {
+			t.Fatalf("capture %v: async dropped %d, lossy %d", capture, async.Dropped, lossy.Dropped)
+		}
+		for d, v := range lossy.Values {
+			if async.Values[d] != v {
+				t.Fatalf("capture %v: value at %d = %v, want %v", capture, d, async.Values[d], v)
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"m2m/internal/plan"
 	"m2m/internal/radio"
 	"m2m/internal/routing"
+	"m2m/internal/schedule"
 )
 
 // nodeSource keys per-node availability of a source's raw value.
@@ -63,6 +64,13 @@ type Engine struct {
 
 	topo     *asyncTopo // message-level DAG for the async executor
 	topoOnce sync.Once  // guards the lazy build so concurrent rounds stay safe
+
+	cont     *contention // message conflict topology for the collision model
+	contOnce sync.Once   // guards its lazy build
+	contErr  error
+
+	txMode  TxMode             // transmission discipline under collisions
+	txSched *schedule.Schedule // installed TDMA frame (TxTDMA)
 }
 
 // Options configures engine construction.

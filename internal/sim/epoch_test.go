@@ -238,6 +238,45 @@ func TestChaosCrossExecutorDeterminism(t *testing.T) {
 		}
 	}
 
+	// Same contract with the collision channel switched on: both executors
+	// replay the same contention oracle, so per-message fates, collision
+	// counts, and values agree exactly under loss, crash, and contention
+	// at once.
+	mkColl := func() *chaos.Injector {
+		return chaos.New(77).WithUniformLoss(0.15).WithCollisions(0.3).Crash(11, 2)
+	}
+	for r := 0; r < 4; r++ {
+		a, err := eng.RunLossy(r, readings, mkColl(), maxRetries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := eng.RunLossy(r, readings, mkColl(), maxRetries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		async, err := eng.RunAsync(r, readings, mkColl(), AsyncConfig{MaxRetries: maxRetries})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Collisions != b.Collisions || a.Collisions != async.Collisions {
+			t.Fatalf("round %d: collision counts diverge: %d / %d / %d",
+				r, a.Collisions, b.Collisions, async.Collisions)
+		}
+		for _, other := range []*LossyResult{b, &async.LossyResult} {
+			for i, o := range a.Outcomes {
+				oo := other.Outcomes[i]
+				if oo.Edge != o.Edge || oo.Delivered != o.Delivered || oo.Attempts != o.Attempts {
+					t.Fatalf("round %d message %d: %+v vs %+v", r, i, oo, o)
+				}
+			}
+			for d, v := range a.Values {
+				if other.Values[d] != v {
+					t.Fatalf("round %d dest %d: value %v vs %v", r, d, other.Values[d], v)
+				}
+			}
+		}
+	}
+
 	// The concurrent batch runner shares the compiled program: fault-free
 	// values must be bit-identical to the lossy executor's under a nil
 	// schedule, whatever the worker interleaving.

@@ -21,6 +21,13 @@ type Faults interface {
 	Deliver(round int, e routing.Edge, attempt int) bool
 }
 
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // noFaults is the identity schedule: every transmission arrives.
 type noFaults struct{}
 
@@ -189,6 +196,10 @@ type LossyResult struct {
 	// because the frame's plan epoch mismatched its installed table (each
 	// also leaves its message in Dropped if no attempt ever passes).
 	EpochDropped int
+	// Collisions counts transmission attempts destroyed by slot
+	// contention (collision model only): the wreck cost the sender TX and
+	// a live receiver RX, but nothing was merged or acknowledged.
+	Collisions int
 }
 
 // RunLossy executes one round in which messages actually drop: each
@@ -225,6 +236,10 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 	st := e.getLossyState()
 	defer e.putLossyState(st)
 	e.fillEdgeFence(st, faults)
+	cp, err := e.collisionPlanFor(round, faults, maxRetries, st.edgeOK)
+	if err != nil {
+		return nil, err
+	}
 	adv := e.adversaryFor(faults)
 	for i, slot := range c.srcSlot {
 		if !down(c.srcIDs[i]) {
@@ -294,41 +309,80 @@ func (e *Engine) RunLossy(round int, readings map[graph.NodeID]float64, faults F
 		eid := c.msgEdge[mi]
 		fenced := !st.edgeOK[eid]
 		heard := 0
-		for try := 0; try <= maxRetries; try++ {
-			if bat != nil && !bat.Spend(round, edge.From, txJ) {
-				break // sender browned out mid-ARQ: remaining retries abandoned
+		wrecked := 0
+		if cp == nil {
+			for try := 0; try <= maxRetries; try++ {
+				if bat != nil && !bat.Spend(round, edge.From, txJ) {
+					break // sender browned out mid-ARQ: remaining retries abandoned
+				}
+				out.Attempts++
+				seq := int(st.attempt[eid])
+				st.attempt[eid]++
+				if !recvDead && faults.Deliver(round, edge, seq) {
+					if bat != nil && !bat.Spend(round, edge.To, rxJ) {
+						recvDead = true // receiver browned out: frame unheard
+						continue
+					}
+					if fenced {
+						heard++
+						continue
+					}
+					out.Delivered = true
+					break
+				}
 			}
-			out.Attempts++
-			seq := int(st.attempt[eid])
-			st.attempt[eid]++
-			if !recvDead && faults.Deliver(round, edge, seq) {
-				if bat != nil && !bat.Spend(round, edge.To, rxJ) {
-					recvDead = true // receiver browned out: frame unheard
-					continue
+		} else {
+			// Replay the collision oracle's resolved attempts one-for-one.
+			// The oracle already drew channel loss and gated round-start
+			// liveness; the executor re-applies the battery gates, which
+			// the slot model cannot see.
+			for try := 0; try < len(cp.tries[mi]); try++ {
+				if bat != nil && !bat.Spend(round, edge.From, txJ) {
+					break
 				}
-				if fenced {
-					heard++
-					continue
+				out.Attempts++
+				switch cp.tries[mi][try] {
+				case coCollided:
+					res.Collisions++
+					if recvDead {
+						continue // wreck unheard: TX wasted, nothing more
+					}
+					if bat != nil && !bat.Spend(round, edge.To, rxJ) {
+						recvDead = true
+						continue
+					}
+					wrecked++ // heard, paid for, destroyed by the checksum
+				case coDelivered:
+					if recvDead {
+						continue
+					}
+					if bat != nil && !bat.Spend(round, edge.To, rxJ) {
+						recvDead = true
+						continue
+					}
+					if fenced {
+						heard++
+						continue
+					}
+					out.Delivered = true
 				}
-				out.Delivered = true
-				break
 			}
 		}
 		if out.Delivered && out.Attempts == 1 {
 			res.EnergyJ += e.Radio.UnicastJoules(body)
 		} else {
 			res.EnergyJ += float64(out.Attempts) * txJ
+			rx := wrecked
 			if out.Delivered {
-				res.EnergyJ += rxJ
+				rx++
 			} else {
-				res.EnergyJ += float64(heard) * rxJ
+				rx += heard
 			}
+			res.EnergyJ += float64(rx) * rxJ
 		}
 		res.PerNodeJ[edge.From] += float64(out.Attempts) * txJ
-		if out.Delivered {
-			res.PerNodeJ[edge.To] += rxJ
-		} else if heard > 0 {
-			res.PerNodeJ[edge.To] += float64(heard) * rxJ
+		if rx := wrecked + heard + b2i(out.Delivered); rx > 0 {
+			res.PerNodeJ[edge.To] += float64(rx) * rxJ
 		}
 		res.EpochDropped += heard
 		res.Transmissions += out.Attempts

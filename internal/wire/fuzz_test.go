@@ -133,3 +133,31 @@ func FuzzDecodeTableDiff(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeTDMA hardens the slot-assignment decoder: arbitrary bytes are
+// either rejected or decode to a frame that re-encodes byte-identically —
+// never panic, never over-read.
+func FuzzDecodeTDMA(f *testing.F) {
+	frame, _ := EncodeTDMA(2, []int{0, 1, 1, 2})
+	one, _ := EncodeTDMA(0, []int{0})
+	f.Add(frame)
+	f.Add(one)
+	f.Add([]byte{})
+	f.Add([]byte{TDMAMagic})
+	f.Add([]byte{TDMAMagic, TDMAVersion, 0, 0, 0, 1, 0, 3, 0, 0})
+	f.Add([]byte{TDMAMagic, 9, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeTDMA(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeTDMA(d.Epoch, d.SlotOf)
+		if err != nil {
+			t.Fatalf("decoded frame failed to re-encode: %v", err)
+		}
+		if !bytesEqual(re, data) {
+			t.Fatalf("frame not byte-identical across round trip:\n%x\n%x", re, data)
+		}
+	})
+}

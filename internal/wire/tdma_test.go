@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"testing"
+)
+
+func TestTDMARoundTrip(t *testing.T) {
+	slots := []int{2, 0, 0, 1, 5, 65535}
+	b, err := EncodeTDMA(7, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != TDMABytes(len(slots)) {
+		t.Fatalf("encoded %d bytes, want %d", len(b), TDMABytes(len(slots)))
+	}
+	f, err := DecodeTDMA(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Epoch != 7 {
+		t.Fatalf("epoch %d, want 7", f.Epoch)
+	}
+	if len(f.SlotOf) != len(slots) {
+		t.Fatalf("%d slots, want %d", len(f.SlotOf), len(slots))
+	}
+	for i, s := range slots {
+		if f.SlotOf[i] != s {
+			t.Fatalf("slot %d = %d, want %d", i, f.SlotOf[i], s)
+		}
+	}
+}
+
+func TestTDMAEncodeRejects(t *testing.T) {
+	if _, err := EncodeTDMA(1, nil); err == nil {
+		t.Error("empty assignment accepted")
+	}
+	if _, err := EncodeTDMA(1, []int{-1}); err == nil {
+		t.Error("negative slot accepted")
+	}
+	if _, err := EncodeTDMA(1, []int{1 << 16}); err == nil {
+		t.Error("oversized slot accepted")
+	}
+	if _, err := EncodeTDMA(1, make([]int, 1<<16)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+func TestTDMADecodeRejects(t *testing.T) {
+	good, err := EncodeTDMA(3, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:TDMAHeaderBytes-1],
+		"bad magic":   append([]byte{0x00}, good[1:]...),
+		"bad version": append([]byte{TDMAMagic, 99}, good[2:]...),
+		"truncated":   good[:len(good)-1],
+		"trailing":    append(append([]byte(nil), good...), 0),
+		"zero count":  {TDMAMagic, TDMAVersion, 0, 0, 0, 3, 0, 0},
+	}
+	for name, b := range cases {
+		if _, err := DecodeTDMA(b); err == nil {
+			t.Errorf("%s frame accepted", name)
+		}
+	}
+}

@@ -135,6 +135,12 @@ const (
 	// planner requires, in which case NewInstance returns a diagnostic
 	// error; prefer RouterReversePath or RouterSharedTree.
 	RouterSourceSPT
+	// RouterMinDegree routes inside one low-degree global spanning tree
+	// (local-search degree reduction over the BFS tree). Both routing
+	// restrictions hold as for RouterSharedTree; receiver fan-in — and
+	// with it per-receiver contention — is bounded, at a path-stretch
+	// cost that can deepen precedence chains.
+	RouterMinDegree
 )
 
 // Network bundles node placement, radio connectivity, and the energy
@@ -186,6 +192,12 @@ func (n *Network) NewInstance(specs []Spec, kind RouterKind) (*Instance, error) 
 		router = st
 	case RouterSourceSPT:
 		router = routing.NewSourceSPT(n.Graph)
+	case RouterMinDegree:
+		mt, err := routing.NewMinDegreeTree(n.Graph)
+		if err != nil {
+			return nil, err
+		}
+		router = mt
 	default:
 		return nil, fmt.Errorf("m2m: unknown router kind %d", kind)
 	}

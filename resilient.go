@@ -149,6 +149,15 @@ type ResilientConfig struct {
 	// incident to evacuating nodes when routes are rebuilt, steering
 	// detours away from dying relays (default 8, minimum 1).
 	EvacuatePenalty float64
+	// TDMASwitchThreshold is the smoothed collision-loss fraction
+	// (collided attempts over transmissions) at which the session stops
+	// riding contention out and switches to scheduled transmission: it
+	// builds a TDMA frame from the plan's wait-for DAG, round-trips it
+	// through the wire codec, floods it to every node at its priced energy
+	// cost, and drives all further rounds (and every replan's engine) off
+	// it. Zero selects the default 0.15; negative disables the switch.
+	// Irrelevant unless the fault schedule enables collisions.
+	TDMASwitchThreshold float64
 	// Byzantine, when non-nil, arms the outlier-quarantine loop: after
 	// every round the base station residual-tests each monitored source's
 	// reported reading against the robust (median/MAD) population
@@ -174,6 +183,9 @@ func (c ResilientConfig) withDefaults() ResilientConfig {
 	}
 	if c.EvacuatePenalty == 0 {
 		c.EvacuatePenalty = 8
+	}
+	if c.TDMASwitchThreshold == 0 {
+		c.TDMASwitchThreshold = 0.15
 	}
 	return c
 }
@@ -228,6 +240,14 @@ type ResilientStep struct {
 	// nodes after the round (battery sessions only; zero otherwise, and
 	// zero once every node is exhausted).
 	MinResidualJ float64
+	// Collisions counts transmission attempts destroyed by slot contention
+	// this round (zero unless the fault schedule enables collisions).
+	Collisions int
+	// CollisionRate is this round's collided fraction of transmissions.
+	CollisionRate float64
+	// TDMA reports whether the session is in scheduled-transmission mode
+	// after this round (the switch takes effect from the next round).
+	TDMA bool
 	// Suspects lists the monitored sources whose reported reading fell
 	// outside the robust residual gate this round (byzantine sessions
 	// only), in monitored order.
@@ -306,6 +326,12 @@ type ResilientSession struct {
 	// severed from the base station — re-derived every failing round.
 	quarantined map[NodeID]bool
 
+	// Contention state: the smoothed collision-loss rate and whether the
+	// session has switched to scheduled (TDMA) transmission. Once set, the
+	// switch is permanent — every replan's engine gets a fresh frame.
+	collRate float64
+	tdma     bool
+
 	// Battery-aware state: per-node spend observed at the last round
 	// boundary (to derive burn rates), the smoothed burn-rate estimates
 	// the base station has heard over beacons, the nodes already
@@ -353,6 +379,9 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 	}
 	if cfg.EvacuatePenalty != 0 && cfg.EvacuatePenalty < 1 {
 		return nil, fmt.Errorf("m2m: evacuation penalty %g below 1", cfg.EvacuatePenalty)
+	}
+	if cfg.TDMASwitchThreshold > 1 {
+		return nil, fmt.Errorf("m2m: TDMA switch threshold %g above 1", cfg.TDMASwitchThreshold)
 	}
 	inst, err := net.NewInstance(specs, kind)
 	if err != nil {
@@ -465,6 +494,36 @@ func (f epochFence) CorruptReading(round int, n NodeID, v float64) float64 {
 	return v
 }
 
+// The collision dimensions forward to the wrapped schedule when it
+// implements them (a FaultInjector with WithCollisions); otherwise the
+// model stays off and the executors never consult the other methods, so
+// honest sessions remain byte-identical.
+func (f epochFence) CollisionsEnabled() bool {
+	cf, ok := f.s.faults.(sim.CollisionFaults)
+	return ok && cf.CollisionsEnabled()
+}
+
+func (f epochFence) CollisionReceiver(n NodeID) bool {
+	if cf, ok := f.s.faults.(sim.CollisionFaults); ok {
+		return cf.CollisionReceiver(n)
+	}
+	return false
+}
+
+func (f epochFence) CaptureWins(round int, e routing.Edge, attempt int) bool {
+	if cf, ok := f.s.faults.(sim.CollisionFaults); ok {
+		return cf.CaptureWins(round, e, attempt)
+	}
+	return false
+}
+
+func (f epochFence) BackoffSlots(round int, e routing.Edge, attempt, window int) int {
+	if cf, ok := f.s.faults.(sim.CollisionFaults); ok {
+		return cf.BackoffSlots(round, e, attempt, window)
+	}
+	return 0
+}
+
 func (f epochFence) NodeEpoch(n NodeID) uint32 {
 	if e, ok := f.s.nodeEpoch[n]; ok {
 		return e
@@ -538,6 +597,22 @@ func (s *ResilientSession) Step() (*ResilientStep, error) {
 	}
 	step.EnergyJ = res.EnergyJ
 	step.EpochDropped = res.EpochDropped
+
+	// Contention signal: smooth the observed collision-loss fraction and,
+	// once it crosses the threshold, switch permanently to scheduled
+	// transmission — the frame goes out before the next round runs.
+	step.Collisions = res.Collisions
+	if res.Transmissions > 0 {
+		step.CollisionRate = float64(res.Collisions) / float64(res.Transmissions)
+		s.collRate = 0.5*s.collRate + 0.5*step.CollisionRate
+	}
+	if !s.tdma && s.cfg.TDMASwitchThreshold > 0 && s.collRate >= s.cfg.TDMASwitchThreshold {
+		if err := s.switchToTDMA(step); err != nil {
+			return nil, err
+		}
+	}
+	step.TDMA = s.tdma
+
 	if async != nil {
 		step.MakespanMS = async.MakespanMS
 		for _, rep := range res.Reports {
@@ -812,6 +887,13 @@ func (s *ResilientSession) recover(dead NodeID) (*RecoveryEvent, error) {
 		}
 		runner.InheritState(s.runner)
 	}
+	if s.tdma {
+		// The healed plan needs its own frame; it rides the replan's table
+		// dissemination, which is priced below.
+		if _, err := installTDMA(eng, s.planEpoch+1); err != nil {
+			return nil, err
+		}
+	}
 
 	ev := &RecoveryEvent{
 		Dead:          dead,
@@ -906,6 +988,11 @@ func (s *ResilientSession) rejoin(n NodeID) error {
 			return restore(err)
 		}
 		runner.InheritState(s.runner)
+	}
+	if s.tdma {
+		if _, err := installTDMA(eng, s.planEpoch+1); err != nil {
+			return restore(err)
+		}
 	}
 	base, err := s.lowestAlive(noNode)
 	if err != nil {
@@ -1081,6 +1168,11 @@ func (s *ResilientSession) evacuate(dying []NodeID, step *ResilientStep) error {
 		}
 		runner.InheritState(s.runner)
 	}
+	if s.tdma {
+		if _, err := installTDMA(eng, s.planEpoch+1); err != nil {
+			return err
+		}
+	}
 
 	s.inst = newInst
 	s.plan = replanned
@@ -1210,6 +1302,62 @@ func (s *ResilientSession) disseminate(step *ResilientStep) error {
 	return nil
 }
 
+// installTDMA equips eng with a TDMA frame derived from its own message
+// layout, round-tripped through the wire codec exactly as a mote would
+// receive it off the air — so LoadFrame validates what was actually
+// transmitted, not the in-memory schedule. Returns the encoded frame.
+func installTDMA(eng *sim.Engine, epoch uint32) ([]byte, error) {
+	sched, _, err := eng.BuildSchedule()
+	if err != nil {
+		return nil, err
+	}
+	frame, err := wire.EncodeTDMA(epoch, sched.SlotOf)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := wire.DecodeTDMA(frame)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.LoadFrame(dec.SlotOf); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// switchToTDMA performs the one-time move to scheduled transmission:
+// build and install the frame, then flood it from the base station down
+// the dissemination tree — one unicast per alive reachable node, priced
+// and debited like any other control traffic. The flood is one-shot (no
+// per-hop ARQ is modeled for it); the frame is in force from the next
+// round. Replans after the switch derive fresh frames that ride the
+// already-priced table dissemination instead.
+func (s *ResilientSession) switchToTDMA(step *ResilientStep) error {
+	frame, err := installTDMA(s.engine, s.planEpoch)
+	if err != nil {
+		return err
+	}
+	base, err := s.lowestAlive(noNode)
+	if err != nil {
+		return err
+	}
+	bfs := s.inst.Net.BFS(base)
+	body := len(frame)
+	for i := 0; i < s.net.Len(); i++ {
+		n := NodeID(i)
+		if n == base || s.dead[n] || !bfs.Reachable(n) {
+			continue
+		}
+		step.EnergyJ += s.net.Radio.UnicastJoules(body)
+		if b := s.cfg.Battery; b != nil {
+			b.Spend(s.round, bfs.Parent[n], s.net.Radio.TxJoules(body))
+			b.Spend(s.round, n, s.net.Radio.RxJoules(body))
+		}
+	}
+	s.tdma = true
+	return nil
+}
+
 // currentTables lazily builds and caches the executing plan's tables.
 func (s *ResilientSession) currentTables() (*Tables, error) {
 	if s.tables == nil {
@@ -1277,6 +1425,14 @@ func (s *ResilientSession) CurrentPlan() *Plan { return s.plan }
 // PlanEpoch returns the epoch of the plan the session is executing; it
 // starts at 1 and bumps on every replan (recovery or rejoin).
 func (s *ResilientSession) PlanEpoch() uint32 { return s.planEpoch }
+
+// TDMAActive reports whether the session has switched to scheduled
+// (TDMA) transmission.
+func (s *ResilientSession) TDMAActive() bool { return s.tdma }
+
+// CollisionRate returns the smoothed collision-loss fraction the switch
+// decision tracks (zero unless the fault schedule enables collisions).
+func (s *ResilientSession) CollisionRate() float64 { return s.collRate }
 
 // QuarantinedNodes returns the nodes held in quarantine after the last
 // round, ascending: alive but severed from the base station, so exempt
