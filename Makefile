@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race cover bench figures examples clean
+.PHONY: all check build vet test test-short race cover bench bench-plan-scale figures examples clean
 
 all: check
 
@@ -31,6 +31,10 @@ cover:
 # One testing.B benchmark per paper figure/table plus micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the checked-in planner scaling artifact (68/1k/10k nodes).
+bench-plan-scale:
+	$(GO) run ./cmd/m2mbench -plan-scale -topo-size 68,1000,10000 -json > BENCH_plan_scale.json
 
 # Regenerate every evaluation figure and ablation at full scale.
 figures:

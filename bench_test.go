@@ -150,6 +150,36 @@ func BenchmarkOptimize(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimize1k measures full optimization on a 1000-node uniform
+// random topology with 20 destinations × 20 sources — the smallest of the
+// plan-scale trajectory sizes (see BENCH_plan_scale.json), kept as a
+// testing.B benchmark so CI's bench-smoke exercises the planner beyond the
+// 68-node evaluation network.
+func BenchmarkOptimize1k(b *testing.B) {
+	net := RandomNetwork(1000, 1)
+	specs, err := net.GenerateWorkload(WorkloadConfig{
+		NumDests:       20,
+		SourcesPerDest: 20,
+		Dispersion:     0.9,
+		MaxHops:        4,
+		Seed:           1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := net.NewInstance(specs, RouterReversePath)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkOptimizeHeavy measures optimization with every node a
 // destination.
 func BenchmarkOptimizeHeavy(b *testing.B) {

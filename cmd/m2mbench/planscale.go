@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"m2m"
+)
+
+// runPlanScale records the planner's scaling trajectory: for each requested
+// node count it benchmarks topology construction (spatial-hash
+// connectivity), instance resolution, full optimization, and incremental
+// reoptimization. The 68-node size is the paper's Great Duck Island
+// network with its canonical workload (20% destinations × 20 sources);
+// larger sizes use uniform layouts at the same density with one
+// destination per 50 nodes — the interactive planning regime. The JSON
+// output is the checked-in BENCH_plan_scale.json artifact.
+func runPlanScale(w *os.File, sizesCSV string, clustered, jsonOut bool) error {
+	sizes, err := parseSizes(sizesCSV)
+	if err != nil {
+		return err
+	}
+	report := benchReport{GoVersion: runtime.Version(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, n := range sizes {
+		if err := planScaleRows(&report, n, false); err != nil {
+			return err
+		}
+		if clustered && n > m2m.GreatDuckIsland().Len() {
+			if err := planScaleRows(&report, n, true); err != nil {
+				return err
+			}
+		}
+	}
+	if jsonOut {
+		return writeBenchJSON(w, report)
+	}
+	for _, r := range report.Benchmarks {
+		fmt.Fprintf(w, "%-26s %12.0f ns/op %12d B/op %9d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	return nil
+}
+
+func parseSizes(csv string) ([]int, error) {
+	var sizes []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("m2mbench: bad -topo-size entry %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("m2mbench: -topo-size is empty")
+	}
+	return sizes, nil
+}
+
+func planScaleRows(report *benchReport, n int, clustered bool) error {
+	build := func() *m2m.Network {
+		switch {
+		case clustered:
+			return m2m.ClusteredNetwork(n, 1)
+		case n == m2m.GreatDuckIsland().Len():
+			return m2m.GreatDuckIsland()
+		default:
+			return m2m.RandomNetwork(n, 1)
+		}
+	}
+	net := build()
+	cfg := m2m.WorkloadConfig{SourcesPerDest: 20, Dispersion: 0.9, MaxHops: 4, Seed: 1}
+	if n <= 100 {
+		cfg.DestFraction = 0.2 // the paper's canonical evaluation workload
+	} else {
+		cfg.NumDests = n / 50
+	}
+	specs, err := net.GenerateWorkload(cfg)
+	if err != nil {
+		return fmt.Errorf("m2mbench: workload at n=%d: %w", n, err)
+	}
+	inst, err := net.NewInstance(specs, m2m.RouterReversePath)
+	if err != nil {
+		return fmt.Errorf("m2mbench: instance at n=%d: %w", n, err)
+	}
+	p, err := m2m.Optimize(inst)
+	if err != nil {
+		return fmt.Errorf("m2mbench: optimize at n=%d: %w", n, err)
+	}
+
+	suffix := strconv.Itoa(n)
+	if clustered {
+		suffix = "clustered_" + suffix
+	}
+	var benchErr error
+	add := func(name string, fn func() error) {
+		if benchErr != nil {
+			return
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
+					benchErr = fmt.Errorf("%s: %w", name, err)
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return
+		}
+		report.Benchmarks = append(report.Benchmarks, benchRecord{
+			Name:        name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	add("topo_build_"+suffix, func() error { build(); return nil })
+	add("instance_"+suffix, func() error {
+		_, err := net.NewInstance(specs, m2m.RouterReversePath)
+		return err
+	})
+	add("optimize_"+suffix, func() error {
+		_, err := m2m.Optimize(inst)
+		return err
+	})
+	add("reoptimize_"+suffix, func() error {
+		_, _, err := m2m.Reoptimize(p, inst)
+		return err
+	})
+	return benchErr
+}

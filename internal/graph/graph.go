@@ -75,6 +75,16 @@ func (g *Undirected) AddEdge(u, v NodeID, w float64) error {
 	return nil
 }
 
+// AddEdgeUnchecked adds an undirected edge u—v with weight w without the
+// range, self-loop, and duplicate checks of AddEdge. The duplicate scan is
+// O(degree), which turns bulk construction of dense graphs quadratic;
+// callers that generate each edge exactly once (e.g. the topology package's
+// spatial-hash sweep) skip it.
+func (g *Undirected) AddEdgeUnchecked(u, v NodeID, w float64) {
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, w: w})
+	g.adj[v] = append(g.adj[v], halfEdge{to: u, w: w})
+}
+
 // RemoveEdge removes the undirected edge u—v if present and reports whether
 // it existed.
 func (g *Undirected) RemoveEdge(u, v NodeID) bool {

@@ -63,11 +63,12 @@ func (g *Undirected) BFS(root NodeID) *PathTree {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		// Visiting sorted neighbors guarantees the smallest-ID parent wins
-		// among equal-distance candidates, because a node is claimed by the
-		// first BFS layer that reaches it and queue order within a layer
-		// follows parent ID then neighbor ID.
-		for _, v := range g.Neighbors(u) {
+		// The else-if below corrects the parent to the smallest-ID
+		// equal-distance candidate as each layer-d node processes v, so the
+		// final tree is independent of adjacency order and the per-visit
+		// sort+allocation of Neighbors is unnecessary.
+		for _, h := range g.adj[u] {
+			v := h.to
 			du := t.Dist[u] + 1
 			if t.Parent[v] == -1 && v != root {
 				t.Parent[v] = u

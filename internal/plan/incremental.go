@@ -42,15 +42,24 @@ func Reoptimize(old *Plan, inst *Instance) (*Plan, *UpdateStats, error) {
 func ReoptimizeWithPrices(old *Plan, inst *Instance, prices map[graph.NodeID]int64) (*Plan, *UpdateStats, error) {
 	p := &Plan{Inst: inst, Method: MethodOptimal, Sol: make(map[routing.Edge]*EdgeSolution, len(inst.EdgeList)), Prices: prices}
 	stats := &UpdateStats{EdgesTotal: len(inst.EdgeList)}
+	var sc *edgeScratch
 	for _, e := range inst.EdgeList {
 		if old != nil && sameEdgeInputs(old.Inst, inst, e) && sameEdgePrices(old.Prices, prices, inst, e) {
 			if prev, ok := old.Sol[e]; ok && len(prev.ForbiddenRaw) == 0 {
-				p.Sol[e] = cloneSolution(prev)
+				// Carry the old solution over by reference (copy-on-write:
+				// the repair loop clones before mutating a shared solution),
+				// so a mostly-unchanged reoptimization copies nothing.
+				prev.shared = true
+				p.Sol[e] = prev
 				stats.EdgesReused++
 				continue
 			}
 		}
-		sol, err := solveEdge(inst, e, nil, prices)
+		if sc == nil {
+			sc = getEdgeScratch()
+			defer putEdgeScratch(sc)
+		}
+		sol, err := solveEdge(inst, e, nil, prices, sc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -87,13 +96,15 @@ func sameEdgeInputs(oldInst, newInst *Instance, e routing.Edge) bool {
 		}
 	}
 	// Destination record weights depend on the aggregation function;
-	// compare them too. (Raw unit weights are a global constant.)
-	for _, d := range newInst.EdgeDests(e) {
-		oldSpec, ok := oldInst.SpecByDest[d]
+	// compare them too. (Raw unit weights are a global constant.) Iterating
+	// the pair list revisits destinations but allocates nothing, unlike
+	// materializing EdgeDests.
+	for _, pr := range b {
+		oldSpec, ok := oldInst.SpecByDest[pr.Dest]
 		if !ok {
 			return false
 		}
-		if agg.UnitBytes(oldSpec.Func) != agg.UnitBytes(newInst.SpecByDest[d].Func) {
+		if agg.UnitBytes(oldSpec.Func) != agg.UnitBytes(newInst.SpecByDest[pr.Dest].Func) {
 			return false
 		}
 	}
@@ -103,13 +114,11 @@ func sameEdgeInputs(oldInst, newInst *Instance, e routing.Edge) bool {
 // sameEdgePrices reports whether every endpoint of e's cover problem has
 // the same effective energy price under both price maps.
 func sameEdgePrices(oldPrices, newPrices map[graph.NodeID]int64, inst *Instance, e routing.Edge) bool {
-	for _, s := range inst.EdgeSources(e) {
-		if priceOf(oldPrices, s) != priceOf(newPrices, s) {
+	for _, pr := range inst.EdgePairs[e] {
+		if priceOf(oldPrices, pr.Source) != priceOf(newPrices, pr.Source) {
 			return false
 		}
-	}
-	for _, d := range inst.EdgeDests(e) {
-		if priceOf(oldPrices, d) != priceOf(newPrices, d) {
+		if priceOf(oldPrices, pr.Dest) != priceOf(newPrices, pr.Dest) {
 			return false
 		}
 	}
@@ -117,21 +126,30 @@ func sameEdgePrices(oldPrices, newPrices map[graph.NodeID]int64, inst *Instance,
 }
 
 func cloneSolution(s *EdgeSolution) *EdgeSolution {
-	c := newEdgeSolution()
+	c := &EdgeSolution{
+		Raw:      make(map[graph.NodeID]bool, len(s.Raw)),
+		Agg:      make(map[graph.NodeID]bool, len(s.Agg)),
+		Resolves: s.Resolves,
+	}
 	for k := range s.Raw {
 		c.Raw[k] = true
 	}
 	for k := range s.Agg {
 		c.Agg[k] = true
 	}
-	for k := range s.ForbiddenRaw {
-		c.ForbiddenRaw[k] = true
+	if len(s.ForbiddenRaw) > 0 {
+		c.ForbiddenRaw = make(map[graph.NodeID]bool, len(s.ForbiddenRaw))
+		for k := range s.ForbiddenRaw {
+			c.ForbiddenRaw[k] = true
+		}
 	}
-	c.Resolves = s.Resolves
 	return c
 }
 
 func sameSolution(a, b *EdgeSolution) bool {
+	if a == b {
+		return true // reused by reference during Reoptimize
+	}
 	if len(a.Raw) != len(b.Raw) || len(a.Agg) != len(b.Agg) {
 		return false
 	}

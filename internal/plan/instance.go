@@ -8,6 +8,7 @@ package plan
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"m2m/internal/agg"
@@ -107,27 +108,25 @@ func NewInstance(net *graph.Undirected, router routing.Router, specs []agg.Spec)
 }
 
 // EdgeSources returns the distinct sources S_e crossing e, ascending.
+// EdgePairs is sorted by (Source, Dest), so this is an adjacent dedup.
 func (inst *Instance) EdgeSources(e routing.Edge) []graph.NodeID {
-	return distinct(inst.EdgePairs[e], func(p Pair) graph.NodeID { return p.Source })
+	var out []graph.NodeID
+	for _, p := range inst.EdgePairs[e] {
+		if n := len(out); n == 0 || out[n-1] != p.Source {
+			out = append(out, p.Source)
+		}
+	}
+	return out
 }
 
 // EdgeDests returns the distinct destinations D_e crossing e, ascending.
 func (inst *Instance) EdgeDests(e routing.Edge) []graph.NodeID {
-	return distinct(inst.EdgePairs[e], func(p Pair) graph.NodeID { return p.Dest })
-}
-
-func distinct(pairs []Pair, key func(Pair) graph.NodeID) []graph.NodeID {
-	seen := make(map[graph.NodeID]bool)
-	var out []graph.NodeID
-	for _, p := range pairs {
-		k := key(p)
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, k)
-		}
+	out := make([]graph.NodeID, 0, len(inst.EdgePairs[e]))
+	for _, p := range inst.EdgePairs[e] {
+		out = append(out, p.Dest)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // InEdges returns the directed workload edges entering n, sorted.

@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"m2m/internal/agg"
 	"m2m/internal/graph"
 	"m2m/internal/routing"
+	"m2m/internal/vcover"
 )
 
 // Method names a planning strategy (the paper's four algorithms minus
@@ -31,10 +33,14 @@ type EdgeSolution struct {
 	Agg map[graph.NodeID]bool
 	// ForbiddenRaw records sources whose raw option was removed by the
 	// consistency repair pass (only non-empty when the router violates the
-	// paper's sharing restriction).
+	// paper's sharing restriction). It is nil until the repair pass first
+	// touches the edge.
 	ForbiddenRaw map[graph.NodeID]bool
 	// Resolves counts how many times this edge was (re-)solved.
 	Resolves int
+	// shared marks a solution carried over by reference from an old plan
+	// during Reoptimize; the repair loop clones it before mutating.
+	shared bool
 }
 
 // NewEdgeSolution returns an empty solution with initialized sets, for
@@ -103,12 +109,14 @@ func OptimizeWithPrices(inst *Instance, prices map[graph.NodeID]int64) (*Plan, e
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := getEdgeScratch()
+			defer putEdgeScratch(sc)
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(inst.EdgeList) {
 					return
 				}
-				sols[i], errs[i] = solveEdge(inst, inst.EdgeList[i], nil, prices)
+				sols[i], errs[i] = solveEdge(inst, inst.EdgeList[i], nil, prices, sc)
 			}
 		}()
 	}
@@ -134,23 +142,38 @@ func OptimizeWithPrices(inst *Instance, prices map[graph.NodeID]int64) (*Plan, e
 // option, so the loop terminates. Under the paper's sharing restriction
 // (Theorem 1) no iteration ever fires.
 func (p *Plan) repairLoop() error {
+	var sc *edgeScratch
 	for {
 		violations := p.rawViolations()
 		if len(violations) == 0 {
 			return nil
 		}
+		if sc == nil {
+			sc = getEdgeScratch()
+			defer putEdgeScratch(sc)
+		}
 		resolve := make(map[routing.Edge]bool)
 		for _, v := range violations {
-			p.Sol[v.edge].ForbiddenRaw[v.source] = true
+			sol := p.Sol[v.edge]
+			if sol.shared {
+				sol = cloneSolution(sol)
+				p.Sol[v.edge] = sol
+			}
+			if sol.ForbiddenRaw == nil {
+				sol.ForbiddenRaw = make(map[graph.NodeID]bool)
+			}
+			sol.ForbiddenRaw[v.source] = true
 			resolve[v.edge] = true
 		}
 		for e := range resolve {
-			sol, err := solveEdge(p.Inst, e, p.Sol[e].ForbiddenRaw, p.Prices)
+			old := p.Sol[e]
+			sol, err := solveEdge(p.Inst, e, old.ForbiddenRaw, p.Prices, sc)
 			if err != nil {
 				return err
 			}
-			sol.Resolves = p.Sol[e].Resolves + 1
-			for s := range p.Sol[e].ForbiddenRaw {
+			sol.Resolves = old.Resolves + 1
+			sol.ForbiddenRaw = make(map[graph.NodeID]bool, len(old.ForbiddenRaw))
+			for s := range old.ForbiddenRaw {
 				sol.ForbiddenRaw[s] = true
 			}
 			p.Sol[e] = sol
@@ -196,48 +219,82 @@ func AggregateASAP(inst *Instance) *Plan {
 // canonical tiebreak keys 2·node (source role) and 2·node+1 (destination
 // role) shared by every edge in the network. Non-nil prices multiply each
 // endpoint's weight by its node's energy price, biasing the cover toward
-// keeping traffic off expensive (energy-poor) nodes.
-func solveEdge(inst *Instance, e routing.Edge, forbidRaw map[graph.NodeID]bool, prices map[graph.NodeID]int64) (*EdgeSolution, error) {
-	sources := inst.EdgeSources(e)
-	dests := inst.EdgeDests(e)
-	uIdx := make(map[graph.NodeID]int, len(sources))
-	vIdx := make(map[graph.NodeID]int, len(dests))
-	prob := &vcoverProblem{}
-	for i, s := range sources {
-		uIdx[s] = i
-		prob.addU(int(s)*2, int64(agg.RawUnitBytes)*priceOf(prices, s))
-	}
-	for j, d := range dests {
-		vIdx[d] = j
-		prob.addV(int(d)*2+1, int64(agg.UnitBytes(inst.SpecByDest[d].Func))*priceOf(prices, d))
-	}
-	seen := make(map[[2]int]bool)
-	for _, pr := range inst.EdgePairs[e] {
-		k := [2]int{uIdx[pr.Source], vIdx[pr.Dest]}
-		if !seen[k] {
-			seen[k] = true
-			prob.addEdge(k[0], k[1])
+// keeping traffic off expensive (energy-poor) nodes. sc carries the pooled
+// per-worker scratch; the problem it builds is identical to the former
+// map-based construction (EdgePairs is sorted by (Source, Dest), so sources
+// dedup adjacently and duplicate cover edges are adjacent too).
+func solveEdge(inst *Instance, e routing.Edge, forbidRaw map[graph.NodeID]bool, prices map[graph.NodeID]int64, sc *edgeScratch) (*EdgeSolution, error) {
+	pairs := inst.EdgePairs[e]
+	sc.ensure(inst.Net.Len())
+	sc.sources = sc.sources[:0]
+	sc.dests = sc.dests[:0]
+	for _, pr := range pairs {
+		if n := len(sc.sources); n == 0 || sc.sources[n-1] != pr.Source {
+			sc.sources = append(sc.sources, pr.Source)
+		}
+		if sc.vStamp[pr.Dest] != sc.epoch {
+			sc.vStamp[pr.Dest] = sc.epoch
+			sc.dests = append(sc.dests, pr.Dest)
 		}
 	}
+	slices.Sort(sc.dests)
+
+	prob := &sc.prob
+	prob.U = prob.U[:0]
+	prob.V = prob.V[:0]
+	prob.Edges = prob.Edges[:0]
+	for i, s := range sc.sources {
+		sc.uIdx[s] = int32(i)
+		prob.U = append(prob.U, vcover.Vertex{Key: int(s) * 2, Weight: int64(agg.RawUnitBytes) * priceOf(prices, s)})
+	}
+	for j, d := range sc.dests {
+		sc.vIdx[d] = int32(j)
+		prob.V = append(prob.V, vcover.Vertex{Key: int(d)*2 + 1, Weight: int64(agg.UnitBytes(inst.SpecByDest[d].Func)) * priceOf(prices, d)})
+	}
+	lastI, lastJ := int32(-1), int32(-1)
+	for _, pr := range pairs {
+		i, j := sc.uIdx[pr.Source], sc.vIdx[pr.Dest]
+		if i == lastI && j == lastJ {
+			continue
+		}
+		lastI, lastJ = i, j
+		prob.Edges = append(prob.Edges, [2]int{int(i), int(j)})
+	}
+
 	var forbidU []bool
 	if len(forbidRaw) > 0 {
-		forbidU = make([]bool, len(sources))
-		for i, s := range sources {
-			forbidU[i] = forbidRaw[s]
+		sc.forbidU = sc.forbidU[:0]
+		for _, s := range sc.sources {
+			sc.forbidU = append(sc.forbidU, forbidRaw[s])
 		}
+		forbidU = sc.forbidU
 	}
-	cover, err := prob.solve(forbidU)
+	cover, err := vcover.SolveConstrained(prob, forbidU)
 	if err != nil {
 		return nil, fmt.Errorf("plan: edge %v: %w", e, err)
 	}
-	sol := newEdgeSolution()
-	sol.Resolves = 1
-	for i, s := range sources {
+	nRaw, nAgg := 0, 0
+	for i := range sc.sources {
+		if cover.InU[i] {
+			nRaw++
+		}
+	}
+	for j := range sc.dests {
+		if cover.InV[j] {
+			nAgg++
+		}
+	}
+	sol := &EdgeSolution{
+		Raw:      make(map[graph.NodeID]bool, nRaw),
+		Agg:      make(map[graph.NodeID]bool, nAgg),
+		Resolves: 1,
+	}
+	for i, s := range sc.sources {
 		if cover.InU[i] {
 			sol.Raw[s] = true
 		}
 	}
-	for j, d := range dests {
+	for j, d := range sc.dests {
 		if cover.InV[j] {
 			sol.Agg[d] = true
 		}

@@ -11,9 +11,9 @@
 package topology
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"m2m/internal/geom"
 	"m2m/internal/graph"
@@ -132,21 +132,52 @@ func Scaled(n int, seed int64) *Layout {
 	return l
 }
 
+// ScaledClustered is the clustered counterpart of Scaled: n nodes at the
+// Great Duck Island reference density in a proportionally grown area, but
+// grouped around cluster centers like the real deployment (9 clusters per
+// 68 nodes, 22 m spread), repaired to be connected at 50 m range. It is the
+// adversarial generator for the plan-scale benchmarks — clusters make dense
+// per-edge problems.
+func ScaledClustered(n int, seed int64) *Layout {
+	refDensity := float64(GDINodes) / (GDIWidth * GDIHeight)
+	area := float64(n) / refDensity
+	ratio := GDIWidth / GDIHeight
+	h := math.Sqrt(area / ratio)
+	w := area / h
+	k := (n*9 + GDINodes - 1) / GDINodes // ~9 clusters per 68 nodes, ≥1
+	if k < 1 {
+		k = 1
+	}
+	l := Clustered(n, geom.NewRect(0, 0, w, h), k, 22, seed)
+	l.EnsureConnected(radioRangeForRepair)
+	return l
+}
+
 // ConnectivityGraph returns the undirected graph connecting every pair of
 // nodes within radio range, with edge weights equal to Euclidean distance.
+// A spatial hash restricts the candidate pairs to adjacent cells, so the
+// cost is near-linear in n instead of O(n²); edges are inserted in the same
+// (i ascending, j ascending) order as a pairwise scan, so the resulting
+// adjacency lists are identical.
 func (l *Layout) ConnectivityGraph(rangeMeters float64) *graph.Undirected {
 	if rangeMeters <= 0 {
 		panic("topology: non-positive radio range")
 	}
 	g := graph.NewUndirected(len(l.Points))
+	if len(l.Points) < 2 {
+		return g
+	}
+	cg := buildCellGrid(l.Points, rangeMeters)
 	r2 := rangeMeters * rangeMeters
+	cand := make([]int32, 0, 64)
 	for i := range l.Points {
-		for j := i + 1; j < len(l.Points); j++ {
-			if l.Points[i].Dist2(l.Points[j]) <= r2 {
-				// Errors impossible: i < j, no duplicates in this loop.
-				if err := g.AddEdge(graph.NodeID(i), graph.NodeID(j), l.Points[i].Dist(l.Points[j])); err != nil {
-					panic(fmt.Sprintf("topology: %v", err))
-				}
+		cand = cg.neighborsAbove(int32(i), cand[:0])
+		slices.Sort(cand)
+		pi := l.Points[i]
+		for _, j := range cand {
+			if pi.Dist2(l.Points[j]) <= r2 {
+				// No self-loops or duplicates: j > i, one cell per point.
+				g.AddEdgeUnchecked(graph.NodeID(i), graph.NodeID(j), pi.Dist(l.Points[j]))
 			}
 		}
 	}
@@ -157,29 +188,30 @@ func (l *Layout) ConnectivityGraph(rangeMeters float64) *graph.Undirected {
 // graph at the given range is connected: while more than one component
 // remains, the closest pair of nodes in different components is pulled
 // toward their midpoint until within 90% of range.
+//
+// The closest pair comes from a per-node ring search over the spatial hash
+// rather than a pairwise scan. The selection is identical to the former
+// O(n²) loop: node i's nearest other-component neighbor (smallest ID on
+// exact distance ties) strictly improving the global best reproduces the
+// ascending (i, j) scan's winner pair.
 func (l *Layout) EnsureConnected(rangeMeters float64) {
+	comp := make([]int, len(l.Points))
 	for iter := 0; iter < len(l.Points)+8; iter++ {
 		g := l.ConnectivityGraph(rangeMeters)
 		comps := g.Components()
 		if len(comps) <= 1 {
 			return
 		}
-		// Closest inter-component pair, smallest IDs on ties.
-		comp := make([]int, len(l.Points))
 		for ci, c := range comps {
 			for _, u := range c {
 				comp[u] = ci
 			}
 		}
+		cg := buildCellGrid(l.Points, rangeMeters)
 		bi, bj, best := -1, -1, math.MaxFloat64
 		for i := range l.Points {
-			for j := i + 1; j < len(l.Points); j++ {
-				if comp[i] == comp[j] {
-					continue
-				}
-				if d := l.Points[i].Dist(l.Points[j]); d < best {
-					best, bi, bj = d, i, j
-				}
+			if j, d := cg.nearestOtherComponent(i, comp, best); j >= 0 && d < best {
+				best, bi, bj = d, i, j
 			}
 		}
 		mid := l.Points[bi].Add(l.Points[bj]).Scale(0.5)

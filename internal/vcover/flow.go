@@ -2,9 +2,11 @@ package vcover
 
 import "math/big"
 
-// flowNet is a Dinic max-flow network with arbitrary-precision capacities.
-// Exact big-integer arithmetic is what lets the canonical perturbation
-// guarantee unique minimum cuts (see the package comment).
+// flowNet is a Dinic max-flow network with arbitrary-precision capacities:
+// the slow path behind SolveConstrained, used when a problem's perturbed
+// arithmetic would overflow 128 bits (see the package comment) and as the
+// differential-test reference. It works on the raw vertex keys, so its
+// capacities can span thousands of bits.
 type flowNet struct {
 	arcs  []arc
 	heads [][]int // per-vertex arc indices
@@ -24,6 +26,58 @@ func newFlowNet(n int) *flowNet {
 		level: make([]int, n),
 		iter:  make([]int, n),
 	}
+}
+
+// solveBig builds the perturbed math/big flow network for the (already
+// preprocessed) problem and returns residual source-side reachability
+// after max flow. It mirrors fastNet.run exactly, with the original
+// (unremapped) keys and the original maxKey+1 shift.
+func solveBig(p *Problem, residual [][2]int) []bool {
+	maxKey := 0
+	for _, x := range p.U {
+		if x.Key > maxKey {
+			maxKey = x.Key
+		}
+	}
+	for _, y := range p.V {
+		if y.Key > maxKey {
+			maxKey = y.Key
+		}
+	}
+	shift := uint(maxKey + 1)
+
+	perturbed := func(v Vertex) *big.Int {
+		w := new(big.Int).SetInt64(v.Weight)
+		w.Lsh(w, shift)
+		bit := new(big.Int).Lsh(big.NewInt(1), uint(v.Key))
+		return w.Add(w, bit)
+	}
+
+	// Flow network: 0 = source, 1 = sink, U-vertex i -> 2+i,
+	// V-vertex j -> 2+len(U)+j.
+	nU, nV := len(p.U), len(p.V)
+	net := newFlowNet(2 + nU + nV)
+	const src, snk = 0, 1
+	total := new(big.Int)
+	for i, x := range p.U {
+		c := perturbed(x)
+		total.Add(total, c)
+		net.addArc(src, 2+i, c)
+	}
+	for j, y := range p.V {
+		c := perturbed(y)
+		total.Add(total, c)
+		net.addArc(2+nU+j, snk, c)
+	}
+	inf := new(big.Int).Add(total, big.NewInt(1))
+	for _, e := range residual {
+		net.addArc(2+e[0], 2+nU+e[1], new(big.Int).Set(inf))
+	}
+
+	// inf exceeds the sum of every vertex capacity, so it bounds the max
+	// flow — and any single augmentation — without re-summing arcs.
+	net.maxflow(src, snk, inf)
+	return net.residualReachable(src)
 }
 
 func (f *flowNet) addArc(u, v int, capacity *big.Int) {
@@ -79,15 +133,12 @@ func (f *flowNet) dfsBlock(u, snk int, limit *big.Int) *big.Int {
 	return new(big.Int)
 }
 
-// maxflow runs Dinic to completion and returns the max-flow value.
-func (f *flowNet) maxflow(src, snk int) *big.Int {
+// maxflow runs Dinic to completion and returns the max-flow value. The
+// caller supplies limit, an upper bound on any single augmentation,
+// derived once from the problem weights (the old code re-summed every arc
+// capacity — including the huge "infinite" edge arcs — on each call).
+func (f *flowNet) maxflow(src, snk int, limit *big.Int) *big.Int {
 	total := new(big.Int)
-	// An upper bound on any single augmentation: sum of all capacities.
-	limit := new(big.Int)
-	for i := range f.arcs {
-		limit.Add(limit, f.arcs[i].cap)
-	}
-	limit.Add(limit, big.NewInt(1))
 	for f.bfsLevels(src, snk) {
 		for i := range f.iter {
 			f.iter[i] = 0

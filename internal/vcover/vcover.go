@@ -15,13 +15,27 @@
 // B larger than every key. Distinct covers then have distinct perturbed
 // weights (bit sets differ), so the minimum is unique, and the perturbation
 // depends only on the vertex identity — the same everywhere in the network.
-// Capacities are math/big integers, so this is exact, not approximate.
+//
+// Two exact arithmetic back ends implement this, selected automatically:
+//
+//   - A fixed-width two-limb uint128 fast path. Keys are compressed to
+//     their rank within the problem's key set (a monotone remap, which
+//     preserves every comparison of perturbed sums and therefore the
+//     unique optimum), so a problem with m vertices and total true weight
+//     W needs bits(W+1) + m ≤ 127 bits — true for every realistic
+//     single-edge problem. Its flow networks are pooled scratch: a solve
+//     allocates nothing beyond the returned Solution.
+//   - The original math/big slow path, kept behind the same interface for
+//     problems that would overflow 128 bits and as the differential-test
+//     reference (it uses the raw keys, unremapped).
 package vcover
 
 import (
 	"fmt"
-	"math/big"
+	"math"
+	"math/bits"
 	"sort"
+	"sync"
 )
 
 // Vertex is one side's entry in a single-edge problem.
@@ -44,37 +58,9 @@ type Problem struct {
 
 // Validate checks index ranges, weight signs, and key uniqueness.
 func (p *Problem) Validate() error {
-	seen := make(map[int]bool, len(p.U)+len(p.V))
-	for i, x := range p.U {
-		if x.Weight < 0 {
-			return fmt.Errorf("vcover: U[%d] has negative weight %d", i, x.Weight)
-		}
-		if x.Key < 0 {
-			return fmt.Errorf("vcover: U[%d] has negative key %d", i, x.Key)
-		}
-		if seen[x.Key] {
-			return fmt.Errorf("vcover: duplicate key %d", x.Key)
-		}
-		seen[x.Key] = true
-	}
-	for j, y := range p.V {
-		if y.Weight < 0 {
-			return fmt.Errorf("vcover: V[%d] has negative weight %d", j, y.Weight)
-		}
-		if y.Key < 0 {
-			return fmt.Errorf("vcover: V[%d] has negative key %d", j, y.Key)
-		}
-		if seen[y.Key] {
-			return fmt.Errorf("vcover: duplicate key %d", y.Key)
-		}
-		seen[y.Key] = true
-	}
-	for _, e := range p.Edges {
-		if e[0] < 0 || e[0] >= len(p.U) || e[1] < 0 || e[1] >= len(p.V) {
-			return fmt.Errorf("vcover: edge %v out of range", e)
-		}
-	}
-	return nil
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	return sc.validate(p)
 }
 
 // Solution is a vertex cover of a Problem.
@@ -111,6 +97,75 @@ func chosen(in []bool) []int {
 	return out
 }
 
+// scratch is the pooled per-solve state shared by validation, constraint
+// preprocessing, and the uint128 flow network. One scratch serves one
+// solve at a time; the pool makes concurrent solves allocation-lean.
+type scratch struct {
+	keys     []int    // all vertex keys, sorted (rank compression + dup check)
+	forcedV  []bool   // V-vertices forced by forbidden U neighbors
+	residual [][2]int // edges surviving the forced-V preprocessing
+	sumW     uint64   // total true weight of all vertices
+	overflow bool     // sumW overflowed uint64
+	net      fastNet
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// validate checks p (same rules as the former map-based Validate) and
+// leaves the sorted key set and weight sum behind for the solver.
+func (sc *scratch) validate(p *Problem) error {
+	sc.keys = sc.keys[:0]
+	sc.sumW, sc.overflow = 0, false
+	for i, x := range p.U {
+		if x.Weight < 0 {
+			return fmt.Errorf("vcover: U[%d] has negative weight %d", i, x.Weight)
+		}
+		if x.Key < 0 {
+			return fmt.Errorf("vcover: U[%d] has negative key %d", i, x.Key)
+		}
+		sc.keys = append(sc.keys, x.Key)
+		sc.addWeight(x.Weight)
+	}
+	for j, y := range p.V {
+		if y.Weight < 0 {
+			return fmt.Errorf("vcover: V[%d] has negative weight %d", j, y.Weight)
+		}
+		if y.Key < 0 {
+			return fmt.Errorf("vcover: V[%d] has negative key %d", j, y.Key)
+		}
+		sc.keys = append(sc.keys, y.Key)
+		sc.addWeight(y.Weight)
+	}
+	sort.Ints(sc.keys)
+	for k := 1; k < len(sc.keys); k++ {
+		if sc.keys[k] == sc.keys[k-1] {
+			return fmt.Errorf("vcover: duplicate key %d", sc.keys[k])
+		}
+	}
+	for _, e := range p.Edges {
+		if e[0] < 0 || e[0] >= len(p.U) || e[1] < 0 || e[1] >= len(p.V) {
+			return fmt.Errorf("vcover: edge %v out of range", e)
+		}
+	}
+	return nil
+}
+
+func (sc *scratch) addWeight(w int64) {
+	s := sc.sumW + uint64(w)
+	if s < sc.sumW {
+		sc.overflow = true
+	}
+	sc.sumW = s
+}
+
+// fitsFast reports whether the perturbed arithmetic fits uint128 with
+// headroom: the largest solver value is the edge capacity
+// (sumW+1)·2^m < 2^127, where m is the vertex count (the rank shift).
+func (sc *scratch) fitsFast() bool {
+	return !sc.overflow && sc.sumW < math.MaxUint64 &&
+		bits.Len64(sc.sumW+1)+len(sc.keys) <= 127
+}
+
 // Solve returns the unique minimum-weight vertex cover of p under the
 // canonical key perturbation.
 func Solve(p *Problem) (*Solution, error) {
@@ -123,11 +178,19 @@ func Solve(p *Problem) (*Solution, error) {
 // been aggregated upstream). Every V-neighbor of a forbidden U-vertex is
 // then forced into the cover. A nil forbidU imposes no constraints.
 func SolveConstrained(p *Problem, forbidU []bool) (*Solution, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
+	return solveConstrained(p, forbidU, false)
+}
+
+// solveConstrained is the implementation; forceBig pins the math/big slow
+// path regardless of fit (differential tests).
+func solveConstrained(p *Problem, forbidU []bool, forceBig bool) (*Solution, error) {
 	if forbidU != nil && len(forbidU) != len(p.U) {
 		return nil, fmt.Errorf("vcover: forbidU length %d != |U| %d", len(forbidU), len(p.U))
+	}
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc)
+	if err := sc.validate(p); err != nil {
+		return nil, err
 	}
 
 	sol := &Solution{
@@ -137,74 +200,44 @@ func SolveConstrained(p *Problem, forbidU []bool) (*Solution, error) {
 
 	// Preprocess constraints: neighbors of forbidden U-vertices are forced
 	// into the cover; edges they cover disappear from the residual problem.
-	forcedV := make([]bool, len(p.V))
+	if cap(sc.forcedV) < len(p.V) {
+		sc.forcedV = make([]bool, len(p.V))
+	}
+	sc.forcedV = sc.forcedV[:len(p.V)]
+	for j := range sc.forcedV {
+		sc.forcedV[j] = false
+	}
 	if forbidU != nil {
 		for _, e := range p.Edges {
 			if forbidU[e[0]] {
-				forcedV[e[1]] = true
+				sc.forcedV[e[1]] = true
 			}
 		}
 	}
-	var residual [][2]int
+	sc.residual = sc.residual[:0]
 	for _, e := range p.Edges {
-		if !forcedV[e[1]] {
-			residual = append(residual, e)
+		if !sc.forcedV[e[1]] {
+			sc.residual = append(sc.residual, e)
 		}
 	}
-	for j := range forcedV {
-		if forcedV[j] {
+	for j, forced := range sc.forcedV {
+		if forced {
 			sol.InV[j] = true
 			sol.Weight += p.V[j].Weight
 		}
 	}
 
-	maxKey := 0
-	for _, x := range p.U {
-		if x.Key > maxKey {
-			maxKey = x.Key
-		}
+	var reach []bool
+	if !forceBig && sc.fitsFast() {
+		reach = sc.net.run(p.U, p.V, sc.residual, sc.keys, sc.sumW)
+	} else {
+		reach = solveBig(p, sc.residual)
 	}
-	for _, y := range p.V {
-		if y.Key > maxKey {
-			maxKey = y.Key
-		}
-	}
-	shift := uint(maxKey + 1)
-
-	perturbed := func(v Vertex) *big.Int {
-		w := new(big.Int).SetInt64(v.Weight)
-		w.Lsh(w, shift)
-		bit := new(big.Int).Lsh(big.NewInt(1), uint(v.Key))
-		return w.Add(w, bit)
-	}
-
-	// Flow network: 0 = source, 1 = sink, U-vertex i -> 2+i,
-	// V-vertex j -> 2+len(U)+j.
-	nU, nV := len(p.U), len(p.V)
-	net := newFlowNet(2 + nU + nV)
-	const src, snk = 0, 1
-	total := new(big.Int)
-	for i, x := range p.U {
-		c := perturbed(x)
-		total.Add(total, c)
-		net.addArc(src, 2+i, c)
-	}
-	for j, y := range p.V {
-		c := perturbed(y)
-		total.Add(total, c)
-		net.addArc(2+nU+j, snk, c)
-	}
-	inf := new(big.Int).Add(total, big.NewInt(1))
-	for _, e := range residual {
-		net.addArc(2+e[0], 2+nU+e[1], new(big.Int).Set(inf))
-	}
-
-	net.maxflow(src, snk)
 
 	// Min cut from residual reachability: U-vertices unreachable from the
 	// source have their vertex arc saturated (chosen); V-vertices reachable
 	// from the source must be chosen to cut their sink arc.
-	reach := net.residualReachable(src)
+	nU := len(p.U)
 	for i := range p.U {
 		if !reach[2+i] {
 			// Only pick vertices that actually have residual edges; an

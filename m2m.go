@@ -170,6 +170,13 @@ func GreatDuckIsland() *Network { return newNetwork(topology.GreatDuckIsland()) 
 // density, repaired to be connected.
 func RandomNetwork(n int, seed int64) *Network { return newNetwork(topology.Scaled(n, seed)) }
 
+// ClusteredNetwork returns n nodes grouped around burrow-like cluster
+// centers at Great-Duck-Island density (the adversarial case for planning:
+// clusters make dense per-edge cover problems), connected at 50 m range.
+func ClusteredNetwork(n int, seed int64) *Network {
+	return newNetwork(topology.ScaledClustered(n, seed))
+}
+
 // GridNetwork returns an nx × ny lattice with the given spacing in meters.
 func GridNetwork(nx, ny int, spacing float64) *Network {
 	return newNetwork(topology.Grid(nx, ny, spacing))

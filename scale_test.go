@@ -1,0 +1,52 @@
+package m2m
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlanScale10k is the interactive-planning acceptance test: building a
+// 10 000-node uniform topology, drawing a 200-destination workload,
+// resolving routes, and optimizing the plan must all complete within an
+// interactive budget. Under -short the size drops to 2000 nodes so the
+// race detector can afford it.
+func TestPlanScale10k(t *testing.T) {
+	n := 10000
+	if testing.Short() {
+		n = 2000
+	}
+	start := time.Now()
+	net := RandomNetwork(n, 1)
+	specs, err := net.GenerateWorkload(WorkloadConfig{
+		NumDests:       n / 50,
+		SourcesPerDest: 20,
+		Dispersion:     0.9,
+		MaxHops:        4,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := net.NewInstance(specs, RouterReversePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if got := len(p.Sol); got == 0 {
+		t.Fatal("empty plan at scale")
+	}
+	if _, _, err := Reoptimize(p, inst); err != nil {
+		t.Fatal(err)
+	}
+	// Generous against slow CI machines; locally the whole pipeline runs
+	// in ~1.5 s at n=10000.
+	if limit := 10 * time.Second; elapsed > limit {
+		t.Fatalf("end-to-end planning at n=%d took %v, want < %v", n, elapsed, limit)
+	}
+	t.Logf("n=%d: topology+workload+instance+optimize in %v (%d edges solved)", n, elapsed, len(p.Sol))
+}
