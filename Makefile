@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short race cover bench bench-plan-scale figures examples clean
+.PHONY: all check build vet test test-short race cover bench bench-plan-scale figures examples fuzz-scenarios fuzz-soak clean
 
 all: check
 
@@ -27,6 +27,18 @@ race:
 
 cover:
 	$(GO) test -cover ./...
+
+# The CI smoke: 500 seeded fault scenarios through the full resilient
+# stack with every invariant checker armed, under the race detector.
+fuzz-scenarios:
+	$(GO) run -race ./cmd/m2mfuzz -n 500 -q
+
+# Overnight soak: keep drawing seeds and checking invariants until the
+# clock runs out (~275 scenarios/sec without -race). Failing seeds are
+# shrunk to repro-seed<N>.json in the working directory.
+FUZZ_SOAK_DURATION ?= 10m
+fuzz-soak:
+	$(GO) run ./cmd/m2mfuzz -n 0 -duration $(FUZZ_SOAK_DURATION) -q
 
 # One testing.B benchmark per paper figure/table plus micro-benchmarks.
 bench:

@@ -1,0 +1,170 @@
+// Command m2mfuzz drives the deterministic simulation-testing
+// subsystem: it generates seeded fault scenarios across every dimension
+// the chaos layer composes (loss, timing, outages, partitions,
+// crash/revive, depletion, battery ledgers, byzantine windows, slot
+// collisions), runs each through a live resilient session, and checks
+// the global invariant suite against every step and at session end.
+//
+// Usage:
+//
+//	m2mfuzz -n 500                 # check seeds 1..500 (the CI smoke)
+//	m2mfuzz -seed 12345            # check one seed, print its report
+//	m2mfuzz -n 0 -duration 10m     # soak: run seeds until the clock runs out
+//	m2mfuzz -seed 44 -scenario     # print the generated scenario JSON
+//	m2mfuzz -repro failing.json    # replay a shrunk JSON repro
+//
+// A failing scenario is automatically shrunk — dimensions dropped,
+// schedules bisected, rounds halved — to the smallest scenario that
+// still violates an invariant, and the repro JSON is written next to
+// the working directory (or to -out). Exit status is non-zero if any
+// checked scenario fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"m2m"
+	"m2m/internal/invariant"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 0, "check this single seed (0 = use -n/-duration sweep)")
+		n        = flag.Int64("n", 500, "number of consecutive seeds to check, starting at -start")
+		start    = flag.Int64("start", 1, "first seed of the sweep")
+		duration = flag.Duration("duration", 0, "with -n 0, keep checking seeds for this long")
+		repro    = flag.String("repro", "", "replay a scenario repro JSON file instead of generating")
+		out      = flag.String("out", "", "write a failing scenario's shrunk repro JSON here (default repro-seed<N>.json)")
+		scenario = flag.Bool("scenario", false, "with -seed, print the generated scenario JSON and exit")
+		budget   = flag.Int("shrink-budget", 200, "max candidate executions while shrinking a failure")
+		quiet    = flag.Bool("q", false, "only print failures and the final summary")
+	)
+	flag.Parse()
+
+	switch {
+	case *repro != "":
+		os.Exit(replay(*repro))
+	case *seed != 0:
+		os.Exit(one(*seed, *scenario, *out, *budget))
+	default:
+		os.Exit(sweep(*start, *n, *duration, *out, *budget, *quiet))
+	}
+}
+
+// one checks a single seed, shrinking and emitting a repro on failure.
+func one(seed int64, printScenario bool, out string, budget int) int {
+	sc, err := m2m.GenerateScenario(seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "m2mfuzz: generating seed %d: %v\n", seed, err)
+		return 2
+	}
+	if printScenario {
+		data, err := sc.EncodeJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "m2mfuzz: %v\n", err)
+			return 2
+		}
+		fmt.Printf("%s\n", data)
+		return 0
+	}
+	rep := invariant.Check(sc)
+	fmt.Println(rep.String())
+	if !rep.Failed() {
+		return 0
+	}
+	emitRepro(sc, rep, out, budget)
+	return 1
+}
+
+// sweep checks consecutive seeds, by count or by wall clock.
+func sweep(start, n int64, d time.Duration, out string, budget int, quiet bool) int {
+	deadline := time.Time{}
+	if n <= 0 {
+		if d <= 0 {
+			fmt.Fprintln(os.Stderr, "m2mfuzz: -n 0 needs -duration")
+			return 2
+		}
+		deadline = time.Now().Add(d)
+	}
+	began := time.Now()
+	checked, failed := int64(0), 0
+	firstFail := int64(0)
+	for seed := start; ; seed++ {
+		if n > 0 && seed >= start+n {
+			break
+		}
+		if n <= 0 && time.Now().After(deadline) {
+			break
+		}
+		rep := invariant.CheckSeed(seed)
+		checked++
+		if rep.Failed() {
+			failed++
+			if firstFail == 0 {
+				firstFail = seed
+			}
+			fmt.Println(rep.String())
+			if rep.Scenario != nil {
+				emitRepro(rep.Scenario, rep, out, budget)
+			}
+		} else if !quiet && checked%500 == 0 {
+			elapsed := time.Since(began).Seconds()
+			fmt.Printf("m2mfuzz: %d scenarios, %d failed, %.0f scenarios/sec\n",
+				checked, failed, float64(checked)/elapsed)
+		}
+	}
+	elapsed := time.Since(began).Seconds()
+	fmt.Printf("m2mfuzz: checked %d scenarios in %.1fs (%.0f scenarios/sec), %d failed\n",
+		checked, elapsed, float64(checked)/elapsed, failed)
+	if failed > 0 {
+		fmt.Printf("m2mfuzz: first failing seed: %d (replay: m2mfuzz -seed %d)\n", firstFail, firstFail)
+		return 1
+	}
+	return 0
+}
+
+// replay re-checks a shrunk repro JSON.
+func replay(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "m2mfuzz: %v\n", err)
+		return 2
+	}
+	sc, err := m2m.DecodeScenario(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "m2mfuzz: decoding repro: %v\n", err)
+		return 2
+	}
+	rep := invariant.Check(sc)
+	fmt.Println(rep.String())
+	if rep.Failed() {
+		return 1
+	}
+	return 0
+}
+
+// emitRepro shrinks a failing scenario and writes the minimized JSON.
+func emitRepro(sc *m2m.Scenario, rep *invariant.Report, out string, budget int) {
+	min, minRep := invariant.Shrink(sc, invariant.Options{}, budget)
+	if !minRep.Failed() {
+		// Flaky under shrinking (should not happen with deterministic
+		// scenarios); fall back to the original.
+		min = sc
+	}
+	data, err := min.EncodeJSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "m2mfuzz: encoding repro: %v\n", err)
+		return
+	}
+	if out == "" {
+		out = fmt.Sprintf("repro-seed%d.json", sc.Seed)
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "m2mfuzz: writing repro: %v\n", err)
+		return
+	}
+	fmt.Printf("m2mfuzz: shrunk repro written to %s (replay: m2mfuzz -repro %s)\n", out, out)
+}

@@ -18,6 +18,7 @@
 //	m2msim -collide -capture 0.1             # contention session, adaptive TDMA switch
 //	m2msim -collide -tdma -min-degree        # schedule eagerly over the low fan-in tree
 //	m2msim -collide -loss 0.05 -fail-node 12 -fail-round 4
+//	m2msim -scenario 8449                    # replay a generated fuzz scenario
 //
 // With -loss and/or -fail-node the optimal plan is additionally executed
 // on the lossy engine (stop-and-wait, 3 retries) under a seeded fault
@@ -75,6 +76,7 @@ import (
 	"m2m"
 	"m2m/internal/agg"
 	"m2m/internal/chaos"
+	"m2m/internal/invariant"
 	"m2m/internal/plan"
 	"m2m/internal/sim"
 )
@@ -113,8 +115,12 @@ func main() {
 		capture    = flag.Float64("capture", 0, "capture probability in [0,1): chance a colliding frame survives anyway (requires -collide)")
 		tdma       = flag.Bool("tdma", false, "switch to TDMA-scheduled transmission at the first observed collision instead of the default contention threshold (requires -collide)")
 		minDegree  = flag.Bool("min-degree", false, "route inside the minimum-degree spanning tree (low fan-in; replaces -router)")
+		scenario   = flag.Int64("scenario", 0, "replay generated fuzz scenario with this seed end to end, printing the invariant report (ignores the other flags)")
 	)
 	flag.Parse()
+	if *scenario != 0 {
+		os.Exit(runScenario(*scenario))
+	}
 	validateFlags(*loss, *failNode, *failRound, *jitter, *dup, *deadline, *partition, *partRound, *partLen, *revive, *battery, *evacuate, *router, *byzNode, *byzMode, *byzRound, *byzLen, *collide, *capture, *minDegree)
 
 	var net *m2m.Network
@@ -771,4 +777,59 @@ func check(err error) {
 		fmt.Fprintln(os.Stderr, "m2msim:", err)
 		os.Exit(1)
 	}
+}
+
+// runScenario replays a generated fuzz scenario end to end: it prints
+// the scenario's composition, steps the resilient session it describes,
+// and reports the invariant checker verdict — the one-command repro for
+// anything m2mfuzz finds.
+func runScenario(seed int64) int {
+	sc, err := m2m.GenerateScenario(seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "m2msim: generating scenario %d: %v\n", seed, err)
+		return 2
+	}
+	fmt.Printf("scenario %s\n", sc.String())
+	run, err := m2m.NewScenarioRun(sc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "m2msim: building scenario run: %v\n", err)
+		return 2
+	}
+	for i := 0; i < sc.Rounds; i++ {
+		step, err := run.Step()
+		if err != nil {
+			fmt.Printf("round %2d: session stopped: %v\n", i, err)
+			break
+		}
+		line := fmt.Sprintf("round %2d: fresh=%d stale=%d starved=%d energy=%.3gJ",
+			step.Round, step.Fresh, step.Stale, step.Starved, step.EnergyJ)
+		if len(step.Recoveries) > 0 {
+			line += fmt.Sprintf(" recoveries=%d", len(step.Recoveries))
+		}
+		if len(step.Rejoins) > 0 {
+			line += fmt.Sprintf(" rejoins=%v", step.Rejoins)
+		}
+		if step.Quarantined > 0 {
+			line += fmt.Sprintf(" quarantined=%d", step.Quarantined)
+		}
+		if len(step.Depleted) > 0 {
+			line += fmt.Sprintf(" depleted=%v", step.Depleted)
+		}
+		if len(step.Excisions) > 0 {
+			line += fmt.Sprintf(" excisions=%d", len(step.Excisions))
+		}
+		if step.Collisions > 0 {
+			line += fmt.Sprintf(" collisions=%d", step.Collisions)
+		}
+		if step.TDMA {
+			line += " tdma"
+		}
+		fmt.Println(line)
+	}
+	rep := invariant.Check(sc)
+	fmt.Println(rep.String())
+	if rep.Failed() {
+		return 1
+	}
+	return 0
 }

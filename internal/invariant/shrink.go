@@ -1,0 +1,228 @@
+package invariant
+
+import "m2m"
+
+// Shrink minimizes a failing scenario to a smaller one that still fails
+// the same checker options: it greedily drops whole fault dimensions,
+// bisects fault schedules, halves the round count and simplifies the
+// workload knobs, accepting a candidate only when it is strictly
+// smaller and still produces a violation. The result — together with
+// its JSON encoding (Scenario.EncodeJSON) — is the replayable repro.
+// budget caps the number of candidate executions (default 200).
+//
+// If sc does not fail at all, Shrink returns it unchanged with its
+// clean report.
+func Shrink(sc *m2m.Scenario, opts Options, budget int) (*m2m.Scenario, *Report) {
+	if budget <= 0 {
+		budget = 200
+	}
+	best := cloneScenario(sc)
+	bestRep := CheckWith(best, opts)
+	execs := 1
+	if !bestRep.Failed() {
+		return best, bestRep
+	}
+	for improved := true; improved && execs < budget; {
+		improved = false
+		for _, cand := range shrinkCandidates(best) {
+			if scenarioSize(cand) >= scenarioSize(best) {
+				continue
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			if execs >= budget {
+				break
+			}
+			rep := CheckWith(cand, opts)
+			execs++
+			if rep.Failed() {
+				best, bestRep = cand, rep
+				improved = true
+				break // regenerate candidates from the smaller scenario
+			}
+		}
+	}
+	return best, bestRep
+}
+
+// scenarioSize is the strictly-decreasing metric the greedy loop
+// minimizes: rounds, schedule entries, and active dimensions.
+func scenarioSize(sc *m2m.Scenario) int {
+	s := sc.Rounds
+	s += 2 * (len(sc.Outages) + len(sc.Crashes) + len(sc.Depletions) + len(sc.Byzantine))
+	for _, on := range []bool{sc.Async != nil, sc.Partition != nil, sc.Collide != nil, sc.Battery != nil} {
+		if on {
+			s += 4
+		}
+	}
+	if sc.Sketch != "" {
+		s++
+	}
+	if sc.Loss > 0 {
+		s++
+	}
+	if sc.Readings != "const" {
+		s++
+	}
+	if sc.MaxRetries+sc.MissThreshold+sc.DetourBudget > 0 {
+		s++
+	}
+	return s
+}
+
+// cloneScenario deep-copies a scenario through its JSON codec.
+func cloneScenario(sc *m2m.Scenario) *m2m.Scenario {
+	data, err := sc.EncodeJSON()
+	if err == nil {
+		if back, derr := m2m.DecodeScenario(data); derr == nil {
+			return back
+		}
+	}
+	c := *sc // fallback for scenarios the codec rejects; callers only mutate what they own
+	return &c
+}
+
+// shrinkCandidates proposes one-mutation simplifications of sc, most
+// aggressive first.
+func shrinkCandidates(sc *m2m.Scenario) []*m2m.Scenario {
+	var out []*m2m.Scenario
+	add := func(mut func(*m2m.Scenario)) {
+		c := cloneScenario(sc)
+		mut(c)
+		out = append(out, c)
+	}
+
+	// Whole dimensions.
+	if sc.Async != nil {
+		add(func(c *m2m.Scenario) { c.Async = nil })
+	}
+	if sc.Partition != nil {
+		add(func(c *m2m.Scenario) { c.Partition = nil })
+	}
+	if sc.Collide != nil {
+		add(func(c *m2m.Scenario) { c.Collide = nil })
+	}
+	if sc.Battery != nil {
+		add(func(c *m2m.Scenario) { c.Battery = nil })
+	}
+	if sc.Loss > 0 {
+		add(func(c *m2m.Scenario) { c.Loss = 0 })
+	}
+	if sc.Sketch != "" {
+		add(func(c *m2m.Scenario) { c.Sketch = "" })
+	}
+
+	// Schedule lists: empty, halves, then single-entry removals for
+	// short lists.
+	if k := len(sc.Outages); k > 0 {
+		add(func(c *m2m.Scenario) { c.Outages = nil })
+		if k > 1 {
+			add(func(c *m2m.Scenario) { c.Outages = c.Outages[:k/2] })
+			add(func(c *m2m.Scenario) { c.Outages = c.Outages[k/2:] })
+		}
+		if k <= 4 {
+			for i := 0; i < k; i++ {
+				i := i
+				add(func(c *m2m.Scenario) { c.Outages = append(c.Outages[:i:i], c.Outages[i+1:]...) })
+			}
+		}
+	}
+	if k := len(sc.Crashes); k > 0 {
+		add(func(c *m2m.Scenario) { c.Crashes = nil })
+		if k > 1 {
+			add(func(c *m2m.Scenario) { c.Crashes = c.Crashes[:k/2] })
+			add(func(c *m2m.Scenario) { c.Crashes = c.Crashes[k/2:] })
+		}
+		if k <= 4 {
+			for i := 0; i < k; i++ {
+				i := i
+				add(func(c *m2m.Scenario) { c.Crashes = append(c.Crashes[:i:i], c.Crashes[i+1:]...) })
+			}
+		}
+	}
+	if k := len(sc.Depletions); k > 0 {
+		add(func(c *m2m.Scenario) { c.Depletions = nil })
+		if k > 1 {
+			add(func(c *m2m.Scenario) { c.Depletions = c.Depletions[:k/2] })
+			add(func(c *m2m.Scenario) { c.Depletions = c.Depletions[k/2:] })
+		}
+		if k <= 4 {
+			for i := 0; i < k; i++ {
+				i := i
+				add(func(c *m2m.Scenario) { c.Depletions = append(c.Depletions[:i:i], c.Depletions[i+1:]...) })
+			}
+		}
+	}
+	if k := len(sc.Byzantine); k > 0 {
+		add(func(c *m2m.Scenario) { c.Byzantine = nil })
+		if k > 1 {
+			add(func(c *m2m.Scenario) { c.Byzantine = c.Byzantine[:k/2] })
+			add(func(c *m2m.Scenario) { c.Byzantine = c.Byzantine[k/2:] })
+		}
+		if k <= 4 {
+			for i := 0; i < k; i++ {
+				i := i
+				add(func(c *m2m.Scenario) { c.Byzantine = append(c.Byzantine[:i:i], c.Byzantine[i+1:]...) })
+			}
+		}
+	}
+
+	// Fewer rounds, with schedules clamped to the shorter run.
+	if sc.Rounds > 2 {
+		add(func(c *m2m.Scenario) { clampRounds(c, c.Rounds/2) })
+	}
+
+	// Simpler knobs and readings.
+	if sc.MaxRetries+sc.MissThreshold+sc.DetourBudget > 0 {
+		add(func(c *m2m.Scenario) { c.MaxRetries, c.MissThreshold, c.DetourBudget = 0, 0, 0 })
+	}
+	if sc.Readings != "const" {
+		add(func(c *m2m.Scenario) { c.Readings = "const" })
+	}
+	return out
+}
+
+// clampRounds shortens the run and drops or clamps schedule entries
+// that can no longer fire.
+func clampRounds(sc *m2m.Scenario, rounds int) {
+	if rounds < 2 {
+		rounds = 2
+	}
+	sc.Rounds = rounds
+	outages := sc.Outages[:0]
+	for _, o := range sc.Outages {
+		if o.Start < rounds {
+			outages = append(outages, o)
+		}
+	}
+	sc.Outages = outages
+	if p := sc.Partition; p != nil && p.Start >= rounds {
+		sc.Partition = nil
+	}
+	crashes := sc.Crashes[:0]
+	for _, c := range sc.Crashes {
+		if c.Round >= rounds {
+			continue
+		}
+		if c.Revive >= rounds {
+			c.Revive = 0 // never revives inside the shorter run: permanent
+		}
+		crashes = append(crashes, c)
+	}
+	sc.Crashes = crashes
+	depletions := sc.Depletions[:0]
+	for _, d := range sc.Depletions {
+		if d.Round < rounds {
+			depletions = append(depletions, d)
+		}
+	}
+	sc.Depletions = depletions
+	byz := sc.Byzantine[:0]
+	for _, b := range sc.Byzantine {
+		if b.Start < rounds {
+			byz = append(byz, b)
+		}
+	}
+	sc.Byzantine = byz
+}

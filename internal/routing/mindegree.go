@@ -32,13 +32,16 @@ func NewMinDegreeTree(net *graph.Undirected) (*MinDegreeTree, error) {
 	if net.Len() == 0 {
 		return nil, fmt.Errorf("routing: empty network")
 	}
-	if !net.Connected() {
+	if !occupiedConnected(net) {
 		return nil, fmt.Errorf("routing: network not connected")
 	}
 	n := net.Len()
 	center := graph.NodeID(0)
 	bestEcc := -1
 	for u := 0; u < n; u++ {
+		if net.Degree(graph.NodeID(u)) == 0 {
+			continue
+		}
 		pt := net.BFS(graph.NodeID(u))
 		ecc := 0
 		for v := 0; v < n; v++ {
@@ -71,8 +74,9 @@ func NewMinDegreeTree(net *graph.Undirected) (*MinDegreeTree, error) {
 	}
 	bfs := net.BFS(center)
 	for u := 0; u < n; u++ {
-		if graph.NodeID(u) != center {
-			addT(graph.NodeID(u), bfs.Parent[u])
+		id := graph.NodeID(u)
+		if id != center && bfs.Reachable(id) {
+			addT(id, bfs.Parent[u])
 		}
 	}
 

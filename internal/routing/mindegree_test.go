@@ -154,8 +154,16 @@ func TestMinDegreeErrors(t *testing.T) {
 	}
 	g := graph.NewUndirected(4)
 	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
 	if _, err := NewMinDegreeTree(g); err == nil {
 		t.Error("disconnected network accepted")
+	}
+	// Isolated slots (a removed node's empty adjacency) are tolerated.
+	h := graph.NewUndirected(4)
+	h.AddEdge(0, 1, 1)
+	h.AddEdge(1, 2, 1)
+	if _, err := NewMinDegreeTree(h); err != nil {
+		t.Errorf("isolated slot rejected: %v", err)
 	}
 }
 

@@ -204,6 +204,35 @@ func (b SPT) Build(net *graph.Undirected, source graph.NodeID, dests []graph.Nod
 	return treeFromPaths(pt, source, dests)
 }
 
+// occupiedConnected reports whether the nodes that have at least one
+// link form a single non-empty connected component. Isolated slots —
+// left behind when a session removes a failed node's links — are
+// ignored: they cannot carry traffic and the workload never references
+// them.
+func occupiedConnected(net *graph.Undirected) bool {
+	start := graph.NodeID(-1)
+	occupied := 0
+	for u := 0; u < net.Len(); u++ {
+		if net.Degree(graph.NodeID(u)) > 0 {
+			occupied++
+			if start < 0 {
+				start = graph.NodeID(u)
+			}
+		}
+	}
+	if occupied == 0 {
+		return false
+	}
+	pt := net.BFS(start)
+	reached := 0
+	for u := 0; u < net.Len(); u++ {
+		if net.Degree(graph.NodeID(u)) > 0 && pt.Reachable(graph.NodeID(u)) {
+			reached++
+		}
+	}
+	return reached == occupied
+}
+
 // SharedTree routes every multicast tree inside one global spanning tree
 // (a shortest-path tree rooted at a deterministic center). Paths between
 // any two nodes are then unique network-wide, so the sharing restriction
@@ -214,17 +243,23 @@ type SharedTree struct {
 }
 
 // NewSharedTree builds the global routing tree for net, rooted at the node
-// with minimum eccentricity (smallest ID on ties).
+// with minimum eccentricity (smallest ID on ties). Isolated nodes are
+// tolerated: sessions remove failed nodes by cutting their links while
+// keeping the slot so NodeIDs stay stable, and such slots can neither
+// route nor anchor the tree.
 func NewSharedTree(net *graph.Undirected) (*SharedTree, error) {
 	if net.Len() == 0 {
 		return nil, fmt.Errorf("routing: empty network")
 	}
-	if !net.Connected() {
+	if !occupiedConnected(net) {
 		return nil, fmt.Errorf("routing: network not connected")
 	}
 	center := graph.NodeID(0)
 	bestEcc := -1
 	for u := 0; u < net.Len(); u++ {
+		if net.Degree(graph.NodeID(u)) == 0 {
+			continue
+		}
 		pt := net.BFS(graph.NodeID(u))
 		ecc := 0
 		for v := 0; v < net.Len(); v++ {

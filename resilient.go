@@ -168,6 +168,51 @@ type ResilientConfig struct {
 	Byzantine *ByzantineConfig
 }
 
+// Validate rejects configurations the zero-value defaults cannot repair:
+// negative counters, thresholds outside their domain, non-finite values,
+// and flag combinations that contradict each other. NewResilientSession
+// calls it, so bad configs fail at construction instead of deep inside a
+// step; callers composing configs programmatically (scenario generators)
+// can call it early to reject a composition before paying for a plan.
+// A negative TDMASwitchThreshold is valid — it disables the switch.
+func (c ResilientConfig) Validate() error {
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("m2m: negative retry budget %d", c.MaxRetries)
+	}
+	if c.MissThreshold < 0 {
+		return fmt.Errorf("m2m: negative miss threshold %d", c.MissThreshold)
+	}
+	if c.DetourBudget < 0 {
+		return fmt.Errorf("m2m: negative detour budget %d", c.DetourBudget)
+	}
+	if c.EvacuateHorizonRounds < 0 {
+		return fmt.Errorf("m2m: negative evacuation horizon %d", c.EvacuateHorizonRounds)
+	}
+	if c.EvacuateHorizonRounds > 0 && c.Battery == nil {
+		return fmt.Errorf("m2m: evacuation horizon set without a battery ledger")
+	}
+	if math.IsNaN(c.EvacuateThreshold) || c.EvacuateThreshold < 0 || c.EvacuateThreshold > 1 {
+		return fmt.Errorf("m2m: evacuation threshold %g outside [0,1]", c.EvacuateThreshold)
+	}
+	if math.IsNaN(c.EvacuatePenalty) || (c.EvacuatePenalty != 0 && c.EvacuatePenalty < 1) {
+		return fmt.Errorf("m2m: evacuation penalty %g below 1", c.EvacuatePenalty)
+	}
+	if math.IsNaN(c.TDMASwitchThreshold) || c.TDMASwitchThreshold > 1 {
+		return fmt.Errorf("m2m: TDMA switch threshold %g above 1", c.TDMASwitchThreshold)
+	}
+	if c.Async != nil {
+		if err := c.Async.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Byzantine != nil {
+		if _, err := c.Byzantine.withDefaults(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (c ResilientConfig) withDefaults() ResilientConfig {
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 3
@@ -201,6 +246,15 @@ type ResilientStep struct {
 	// EnergyJ is the round's total radio energy: transmissions and
 	// retries, milestone detours, and any replan dissemination.
 	EnergyJ float64
+	// Reports holds this round's per-destination delivery reports. The
+	// map and the report structs are freshly allocated by the executor
+	// every round; treat them as read-only.
+	Reports map[NodeID]*DeliveryReport
+	// DetourJ is the share of EnergyJ spent on milestone detours this
+	// round. Detour traffic rides links outside the planned program, so
+	// it is priced into EnergyJ but never debited against a battery
+	// ledger.
+	DetourJ float64
 	// Fresh, Stale, and Starved count this round's destinations by how
 	// well they were served.
 	Fresh, Stale, Starved int
@@ -363,25 +417,14 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 	if gen == nil {
 		return nil, fmt.Errorf("m2m: nil reading generator")
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Battery != nil && cfg.Battery.Len() != net.Len() {
 		return nil, fmt.Errorf("m2m: battery ledger covers %d nodes, network has %d", cfg.Battery.Len(), net.Len())
 	}
-	if cfg.EvacuateHorizonRounds > 0 {
-		if cfg.Battery == nil {
-			return nil, fmt.Errorf("m2m: evacuation horizon set without a battery ledger")
-		}
-		if kind != RouterReversePath {
-			return nil, fmt.Errorf("m2m: evacuation requires RouterReversePath (weighted detours)")
-		}
-	}
-	if cfg.EvacuateThreshold < 0 || cfg.EvacuateThreshold > 1 {
-		return nil, fmt.Errorf("m2m: evacuation threshold %g outside [0,1]", cfg.EvacuateThreshold)
-	}
-	if cfg.EvacuatePenalty != 0 && cfg.EvacuatePenalty < 1 {
-		return nil, fmt.Errorf("m2m: evacuation penalty %g below 1", cfg.EvacuatePenalty)
-	}
-	if cfg.TDMASwitchThreshold > 1 {
-		return nil, fmt.Errorf("m2m: TDMA switch threshold %g above 1", cfg.TDMASwitchThreshold)
+	if cfg.EvacuateHorizonRounds > 0 && kind != RouterReversePath {
+		return nil, fmt.Errorf("m2m: evacuation requires RouterReversePath (weighted detours)")
 	}
 	inst, err := net.NewInstance(specs, kind)
 	if err != nil {
@@ -596,6 +639,7 @@ func (s *ResilientSession) Step() (*ResilientStep, error) {
 		}
 	}
 	step.EnergyJ = res.EnergyJ
+	step.Reports = res.Reports
 	step.EpochDropped = res.EpochDropped
 
 	// Contention signal: smooth the observed collision-loss fraction and,
@@ -703,7 +747,9 @@ func (s *ResilientSession) Step() (*ResilientStep, error) {
 				s.detourRuns[o.Edge]++
 				if hops, derr := failure.DetourHops(s.net.Graph, o.Edge.From, o.Edge.To, o.Edge.From, o.Edge.To); derr == nil {
 					step.Detours++
-					step.EnergyJ += float64(hops) * s.net.Radio.UnicastJoules(o.BodyBytes)
+					detourJ := float64(hops) * s.net.Radio.UnicastJoules(o.BodyBytes)
+					step.EnergyJ += detourJ
+					step.DetourJ += detourJ
 					if !s.nodeDown(s.round, o.Edge.To) {
 						// The detour got through: the receiver answered.
 						vindicated[o.Edge.To] = true
