@@ -7,6 +7,8 @@ package m2m
 //	go run ./cmd/m2mbench -experiment all
 
 import (
+	"context"
+
 	"testing"
 
 	"m2m/internal/experiments"
@@ -278,7 +280,7 @@ func BenchmarkExecuteRoundConcurrent(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.RunConcurrent(batch, 0); err != nil {
+		if _, err := eng.RunConcurrent(context.Background(), batch, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,175 @@
+// Command m2md serves many-to-many aggregation simulations over
+// HTTP/JSON: tenants upload a (topology, workload, router) triple, get a
+// session id back, and drive the self-healing simulation round by round —
+// thousands of concurrent sessions share one optimized plan per distinct
+// triple through the server's plan cache.
+//
+// Usage:
+//
+//	m2md                                    # serve on :8437
+//	m2md -addr :9000 -max-sessions 10000
+//	m2md -checkpoint state.json             # restore on boot, save on shutdown
+//	m2md -max-inflight 32 -queue-depth 8    # shed harder under overload
+//
+// The API surface (see the README's Serving section for payloads):
+//
+//	POST   /v1/sessions            create a session
+//	GET    /v1/sessions/{id}       session info
+//	POST   /v1/sessions/{id}/step  run rounds, JSON events back
+//	GET    /v1/sessions/{id}/stream?rounds=N   NDJSON round telemetry
+//	DELETE /v1/sessions/{id}       destroy
+//	POST   /v1/sweep               seed-range × variant scenario sweep
+//	GET    /healthz, /readyz, /v1/stats
+//
+// Requests carry an optional X-Tenant header (per-tenant admission
+// gates) and X-Timeout-Ms deadline. Overload answers 429 with
+// Retry-After; SIGINT/SIGTERM drains in-flight rounds, checkpoints live
+// sessions when -checkpoint is set, and exits cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"m2m/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8437", "listen address")
+		maxSessions  = flag.Int("max-sessions", 4096, "live session cap; creates beyond it are shed")
+		maxNodes     = flag.Int("max-nodes", 5000, "largest topology a request may ask for")
+		maxRounds    = flag.Int("max-rounds", 10000, "rounds cap per step/stream request")
+		maxSeeds     = flag.Int("max-seeds", 10000, "seeds cap per sweep request")
+		maxInflight  = flag.Int("max-inflight", 64, "concurrently executing requests, all tenants")
+		perTenant    = flag.Int("per-tenant", 8, "concurrently executing requests per tenant")
+		queueDepth   = flag.Int("queue-depth", 16, "bounded wait queue beyond executing requests; the rest get 429")
+		defTimeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline when the client sends no X-Timeout-Ms")
+		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "clamp on client-requested deadlines")
+		idleTimeout  = flag.Duration("idle-timeout", 10*time.Minute, "evict sessions untouched this long (negative disables)")
+		sweepWorkers = flag.Int("sweep-workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests at shutdown")
+		checkpoint   = flag.String("checkpoint", "", "checkpoint file: restored on boot if present, written on graceful shutdown")
+	)
+	flag.Parse()
+	if err := validateFlags(*addr, *maxSessions, *maxNodes, *maxRounds, *maxSeeds,
+		*maxInflight, *perTenant, *queueDepth, *defTimeout, *maxTimeout, *sweepWorkers, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "m2md: %v\n", err)
+		os.Exit(2)
+	}
+
+	srv, err := serve.NewServer(serve.Config{
+		MaxSessions:       *maxSessions,
+		MaxNodes:          *maxNodes,
+		MaxStepRounds:     *maxRounds,
+		MaxSweepSeeds:     *maxSeeds,
+		MaxInflight:       *maxInflight,
+		PerTenantInflight: *perTenant,
+		QueueDepth:        *queueDepth,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+		IdleTimeout:       *idleTimeout,
+		SweepWorkers:      *sweepWorkers,
+	})
+	check(err)
+	defer srv.Close()
+
+	if *checkpoint != "" {
+		if f, err := os.Open(*checkpoint); err == nil {
+			n, rerr := srv.Restore(context.Background(), f)
+			f.Close()
+			check(rerr)
+			fmt.Printf("m2md: restored %d sessions from %s\n", n, *checkpoint)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			check(err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Printf("m2md: serving on %s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		check(err)
+	case sig := <-sigCh:
+		fmt.Printf("m2md: %v, draining\n", sig)
+	}
+
+	// Graceful shutdown: readiness off and no new sessions, then let
+	// in-flight rounds finish, then checkpoint whatever is still live.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "m2md: drain incomplete: %v\n", err)
+	}
+	if *checkpoint != "" {
+		f, err := os.Create(*checkpoint)
+		check(err)
+		check(srv.Checkpoint(f))
+		check(f.Close())
+		fmt.Printf("m2md: checkpointed to %s\n", *checkpoint)
+	}
+}
+
+// validateFlags rejects contradictory or out-of-range flag combinations
+// up front, before any listener binds — matching the m2msim convention of
+// failing fast with a usage error instead of misbehaving mid-serve.
+func validateFlags(addr string, maxSessions, maxNodes, maxRounds, maxSeeds,
+	maxInflight, perTenant, queueDepth int, defTimeout, maxTimeout time.Duration,
+	sweepWorkers int, drainTimeout time.Duration) error {
+	if addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{{"-max-sessions", maxSessions}, {"-max-nodes", maxNodes},
+		{"-max-rounds", maxRounds}, {"-max-seeds", maxSeeds},
+		{"-max-inflight", maxInflight}, {"-per-tenant", perTenant}} {
+		if f.v < 1 {
+			return fmt.Errorf("%s %d must be at least 1", f.name, f.v)
+		}
+	}
+	if queueDepth < 0 {
+		return fmt.Errorf("-queue-depth %d must not be negative", queueDepth)
+	}
+	if sweepWorkers < 0 {
+		return fmt.Errorf("-sweep-workers %d must not be negative", sweepWorkers)
+	}
+	if defTimeout <= 0 {
+		return fmt.Errorf("-timeout %v must be positive", defTimeout)
+	}
+	if maxTimeout < defTimeout {
+		return fmt.Errorf("-max-timeout %v below -timeout %v", maxTimeout, defTimeout)
+	}
+	if perTenant > maxInflight {
+		return fmt.Errorf("-per-tenant %d exceeds -max-inflight %d", perTenant, maxInflight)
+	}
+	if drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout %v must be positive", drainTimeout)
+	}
+	return nil
+}
+
+func check(err error) {
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "m2md: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ok := func() []interface{} {
+		return []interface{}{":8437", 4096, 5000, 10000, 10000, 64, 8, 16,
+			30 * time.Second, 5 * time.Minute, 0, 30 * time.Second}
+	}
+	call := func(args []interface{}) error {
+		return validateFlags(args[0].(string), args[1].(int), args[2].(int), args[3].(int),
+			args[4].(int), args[5].(int), args[6].(int), args[7].(int),
+			args[8].(time.Duration), args[9].(time.Duration), args[10].(int), args[11].(time.Duration))
+	}
+	if err := call(ok()); err != nil {
+		t.Fatalf("default flags rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func([]interface{})
+		want string
+	}{
+		{"empty addr", func(a []interface{}) { a[0] = "" }, "-addr"},
+		{"zero sessions", func(a []interface{}) { a[1] = 0 }, "-max-sessions"},
+		{"zero nodes", func(a []interface{}) { a[2] = 0 }, "-max-nodes"},
+		{"zero rounds", func(a []interface{}) { a[3] = 0 }, "-max-rounds"},
+		{"zero seeds", func(a []interface{}) { a[4] = 0 }, "-max-seeds"},
+		{"zero inflight", func(a []interface{}) { a[5] = 0 }, "-max-inflight"},
+		{"zero per-tenant", func(a []interface{}) { a[6] = 0 }, "-per-tenant"},
+		{"negative queue", func(a []interface{}) { a[7] = -1 }, "-queue-depth"},
+		{"zero timeout", func(a []interface{}) { a[8] = time.Duration(0) }, "-timeout"},
+		{"max below default", func(a []interface{}) { a[9] = time.Second }, "-max-timeout"},
+		{"negative workers", func(a []interface{}) { a[10] = -1 }, "-sweep-workers"},
+		{"zero drain", func(a []interface{}) { a[11] = time.Duration(0) }, "-drain-timeout"},
+		{"tenant above global", func(a []interface{}) { a[5], a[6] = 4, 8 }, "-per-tenant"},
+	}
+	for _, tc := range cases {
+		args := ok()
+		tc.mut(args)
+		err := call(args)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+	}
+}

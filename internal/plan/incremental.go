@@ -49,7 +49,7 @@ func ReoptimizeWithPrices(old *Plan, inst *Instance, prices map[graph.NodeID]int
 				// Carry the old solution over by reference (copy-on-write:
 				// the repair loop clones before mutating a shared solution),
 				// so a mostly-unchanged reoptimization copies nothing.
-				prev.shared = true
+				prev.shared.Store(true)
 				p.Sol[e] = prev
 				stats.EdgesReused++
 				continue

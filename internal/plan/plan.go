@@ -39,8 +39,11 @@ type EdgeSolution struct {
 	// Resolves counts how many times this edge was (re-)solved.
 	Resolves int
 	// shared marks a solution carried over by reference from an old plan
-	// during Reoptimize; the repair loop clones it before mutating.
-	shared bool
+	// during Reoptimize; the repair loop clones it before mutating. It is
+	// atomic because a cached plan may serve as the Reoptimize base of
+	// many concurrent sessions (the serving layer's plan cache), each
+	// marking the same carried-over solutions shared.
+	shared atomic.Bool
 }
 
 // NewEdgeSolution returns an empty solution with initialized sets, for
@@ -155,7 +158,7 @@ func (p *Plan) repairLoop() error {
 		resolve := make(map[routing.Edge]bool)
 		for _, v := range violations {
 			sol := p.Sol[v.edge]
-			if sol.shared {
+			if sol.shared.Load() {
 				sol = cloneSolution(sol)
 				p.Sol[v.edge] = sol
 			}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// admission implements two-level load shedding: a global inflight cap and
+// per-tenant slots, each with a bounded wait queue. A request beyond
+// slots+queue is shed immediately (the HTTP layer answers 429 with
+// Retry-After) — goroutine growth under overload is bounded by
+// queue depth, not by offered load.
+type admission struct {
+	global *gate
+
+	mu        sync.Mutex
+	tenants   map[string]*gate
+	perTenant int
+	queue     int
+
+	shed atomic.Int64
+}
+
+func newAdmission(maxInflight, perTenant, queue int) *admission {
+	return &admission{
+		global:    newGate(maxInflight, queue),
+		tenants:   make(map[string]*gate),
+		perTenant: perTenant,
+		queue:     queue,
+	}
+}
+
+// acquire admits one request for tenant, blocking in the bounded queue if
+// necessary. It returns a release func on success, or false when the
+// request must be shed (queue full) or the context died while queued.
+func (a *admission) acquire(ctx context.Context, tenant string) (func(), bool) {
+	a.mu.Lock()
+	tg, ok := a.tenants[tenant]
+	if !ok {
+		tg = newGate(a.perTenant, a.queue)
+		a.tenants[tenant] = tg
+	}
+	a.mu.Unlock()
+
+	if !tg.acquire(ctx) {
+		a.shed.Add(1)
+		return nil, false
+	}
+	if !a.global.acquire(ctx) {
+		tg.release()
+		a.shed.Add(1)
+		return nil, false
+	}
+	return func() {
+		a.global.release()
+		tg.release()
+	}, true
+}
+
+// inflight reports currently admitted requests (global view).
+func (a *admission) inflight() int { return a.global.inflight() }
+
+// gate is a semaphore of cap slots fronted by a bounded wait queue:
+// at most queue extra goroutines may block waiting for a slot; any
+// further acquire fails instantly.
+type gate struct {
+	slots   chan struct{}
+	waiters chan struct{}
+}
+
+func newGate(capacity, queue int) *gate {
+	return &gate{
+		slots:   make(chan struct{}, capacity),
+		waiters: make(chan struct{}, capacity+queue),
+	}
+}
+
+func (g *gate) acquire(ctx context.Context) bool {
+	select {
+	case g.waiters <- struct{}{}:
+	default:
+		return false // queue full: shed
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		<-g.waiters
+		return false
+	}
+}
+
+func (g *gate) release() {
+	<-g.slots
+	<-g.waiters
+}
+
+func (g *gate) inflight() int { return len(g.slots) }

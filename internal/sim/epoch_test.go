@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -284,7 +285,7 @@ func TestChaosCrossExecutorDeterminism(t *testing.T) {
 	for i := range batch {
 		batch[i] = randomReadings(rng, inst.Net.Len())
 	}
-	conc, err := eng.RunConcurrent(batch, 4)
+	conc, err := eng.RunConcurrent(context.Background(), batch, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -154,7 +155,13 @@ func (e *Engine) RunInto(readings map[graph.NodeID]float64, st *RoundState) (*Ro
 // GOMAXPROCS). The program is immutable after NewEngine, so rounds only
 // touch per-worker RoundStates; results[i] is batch[i]'s round, each with
 // its own freshly allocated Values map.
-func (e *Engine) RunConcurrent(batch []map[graph.NodeID]float64, workers int) ([]*RoundResult, error) {
+//
+// Cancellation is cooperative between rounds: once ctx is done the
+// workers stop claiming new batch entries (the round in flight on each
+// worker completes) and RunConcurrent returns ctx.Err() instead of
+// results. With context.Background() the behavior — and every computed
+// byte — is identical to the pre-context API.
+func (e *Engine) RunConcurrent(ctx context.Context, batch []map[graph.NodeID]float64, workers int) ([]*RoundResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -176,7 +183,7 @@ func (e *Engine) RunConcurrent(batch []map[graph.NodeID]float64, workers int) ([
 			defer wg.Done()
 			st := e.getState()
 			defer e.putState(st)
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(batch) {
 					return
@@ -190,6 +197,9 @@ func (e *Engine) RunConcurrent(batch []map[graph.NodeID]float64, workers int) ([
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 

@@ -414,17 +414,8 @@ type ResilientSession struct {
 // lossy execution under the fault schedule. A nil schedule means a
 // fault-free network (every round then matches Execute byte for byte).
 func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen ReadingGenerator, faults FaultSchedule, cfg ResilientConfig) (*ResilientSession, error) {
-	if gen == nil {
-		return nil, fmt.Errorf("m2m: nil reading generator")
-	}
-	if err := cfg.Validate(); err != nil {
+	if err := validateSessionInputs(net, kind, gen, cfg); err != nil {
 		return nil, err
-	}
-	if cfg.Battery != nil && cfg.Battery.Len() != net.Len() {
-		return nil, fmt.Errorf("m2m: battery ledger covers %d nodes, network has %d", cfg.Battery.Len(), net.Len())
-	}
-	if cfg.EvacuateHorizonRounds > 0 && kind != RouterReversePath {
-		return nil, fmt.Errorf("m2m: evacuation requires RouterReversePath (weighted detours)")
 	}
 	inst, err := net.NewInstance(specs, kind)
 	if err != nil {
@@ -434,6 +425,46 @@ func NewResilientSession(net *Network, specs []Spec, kind RouterKind, gen Readin
 	if err != nil {
 		return nil, err
 	}
+	return newResilientSession(net, specs, kind, inst, p, gen, faults, cfg)
+}
+
+// NewResilientSessionWithPlan is NewResilientSession with the expensive
+// optimization already done: inst and p must be the instance and optimal
+// plan of exactly (net, specs, kind) — typically a serving layer's plan
+// cache entry, so thousands of identical tenants amortize one Optimize.
+// The plan is adopted by reference and never mutated: the session's
+// replans Reoptimize from it copy-on-write, so one plan may seed any
+// number of concurrent sessions.
+func NewResilientSessionWithPlan(net *Network, specs []Spec, kind RouterKind, inst *Instance, p *Plan, gen ReadingGenerator, faults FaultSchedule, cfg ResilientConfig) (*ResilientSession, error) {
+	if err := validateSessionInputs(net, kind, gen, cfg); err != nil {
+		return nil, err
+	}
+	if inst == nil || p == nil {
+		return nil, fmt.Errorf("m2m: nil instance or plan")
+	}
+	return newResilientSession(net, specs, kind, inst, p, gen, faults, cfg)
+}
+
+// validateSessionInputs holds the constructor checks shared by both
+// session entry points, so a cached-plan session rejects exactly what a
+// from-scratch one would.
+func validateSessionInputs(net *Network, kind RouterKind, gen ReadingGenerator, cfg ResilientConfig) error {
+	if gen == nil {
+		return fmt.Errorf("m2m: nil reading generator")
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Battery != nil && cfg.Battery.Len() != net.Len() {
+		return fmt.Errorf("m2m: battery ledger covers %d nodes, network has %d", cfg.Battery.Len(), net.Len())
+	}
+	if cfg.EvacuateHorizonRounds > 0 && kind != RouterReversePath {
+		return fmt.Errorf("m2m: evacuation requires RouterReversePath (weighted detours)")
+	}
+	return nil
+}
+
+func newResilientSession(net *Network, specs []Spec, kind RouterKind, inst *Instance, p *Plan, gen ReadingGenerator, faults FaultSchedule, cfg ResilientConfig) (*ResilientSession, error) {
 	eng, err := sim.NewEngine(p, net.Radio, sim.Options{MergeMessages: true, Battery: cfg.Battery})
 	if err != nil {
 		return nil, err
